@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it computes
+the rows/series, prints them straight to the terminal (bypassing pytest's
+capture so they land in ``bench_output.txt``), and archives them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.cluster import paper_testbed
+from repro.core import coarsen
+from repro.graph import trim_auxiliary
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Artifacts emitted during this session, printed by the terminal-summary
+#: hook in conftest.py (pytest's fd-level capture swallows direct writes).
+EMITTED: list = []
+
+
+def emit(name: str, text: str) -> None:
+    """Archive a regenerated artifact and queue it for the session summary."""
+    EMITTED.append((name, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def nodes_for(graph):
+    """trim + coarsen — the standard preprocessing before planning."""
+    trimmed, _ = trim_auxiliary(graph)
+    return coarsen(trimmed)
+
+
+def mesh_16w():
+    """The paper's two-node evaluation system (§6.1)."""
+    return paper_testbed(2, 8)
+
+
+def mesh_8w():
+    """The single-node variant used by Fig. 6's 8w columns."""
+    return paper_testbed(1, 8)

@@ -1,0 +1,81 @@
+"""Ablation — the discovered plan depends on the interconnect fabric.
+
+The paper's §6.4.2 finding (FFN-only wins) is a property of *their*
+testbed; it observes "when GPU resource is abundant" the trade-offs
+shift.  This ablation sweeps the intra-node fabric from PCIe-class to
+NVLink-class bandwidth on the same two-node mesh and shows the discovered
+plan migrating from data parallelism through FFN-only sharding to
+sharding every projection — the crossovers the cost model encodes.
+"""
+
+from repro.cluster import GB, Interconnect, Mesh, V100_PCIE_ETHERNET
+from repro.core import coarsen, derive_plan
+from repro.graph import trim_auxiliary
+from repro.models import TransformerConfig, build_t5
+from repro.viz import format_table
+
+from common import emit
+
+FABRICS = {
+    "ethernet-only (4 GB/s)": Interconnect(bandwidth=4 * GB, latency=30e-6),
+    "pcie effective (6 GB/s)": Interconnect(bandwidth=6 * GB, latency=8e-6),
+    "pcie line rate (12 GB/s)": Interconnect(bandwidth=12 * GB, latency=8e-6),
+    "nvlink (48 GB/s)": Interconnect(bandwidth=48 * GB, latency=6e-6),
+    "nvswitch (200 GB/s)": Interconnect(bandwidth=200 * GB, latency=4e-6),
+}
+
+
+def classify(plan) -> str:
+    sharded = {k: v for k, v in plan.as_dict.items() if v != "replicate"}
+    layer = {k for k in sharded if "/layer_" in k}
+    if not sharded:
+        return "data parallel"
+    kinds = {k.rsplit("/", 2)[-2] for k in layer}
+    if layer and kinds <= {"ffn"}:
+        return "FFN-only"
+    if layer and kinds <= {"mha", "cross_mha"}:
+        return "MHA-only"
+    if layer:
+        return "fully sharded"
+    return "embeddings/head only"
+
+
+def sweep():
+    ng = coarsen(trim_auxiliary(
+        build_t5(TransformerConfig(encoder_layers=4, decoder_layers=4))
+    )[0])
+    rows = []
+    plans = []
+    for name, intra in FABRICS.items():
+        mesh = Mesh(2, 8, intra=intra, inter=V100_PCIE_ETHERNET["inter"])
+        result = derive_plan(ng, mesh)
+        kind = classify(result.plan)
+        plans.append((name, kind, result))
+        rows.append([
+            name, f"tp={result.tp_degree}", kind,
+            f"{result.cost * 1e3:.1f}",
+        ])
+    return rows, plans
+
+
+def test_ablation_fabric_dependence(run_once):
+    rows, plans = run_once(sweep)
+    emit(
+        "ablation_fabric",
+        format_table(
+            ["intra-node fabric", "degree", "discovered plan", "cost (ms)"],
+            rows,
+            title="Ablation: discovered plan vs. intra-node fabric (T5, 2x8)",
+        ),
+    )
+    kinds = [k for _, k, _ in plans]
+    # slow fabrics keep layer activations local: at most the FFN pair (or
+    # only the gradient-heavy embeddings) shards
+    assert kinds[0] in ("data parallel", "embeddings/head only", "FFN-only")
+    # ...the paper's PCIe testbed lands on FFN-only (§6.4.2)...
+    assert kinds[1] == "FFN-only"
+    # ...and fast fabrics justify sharding beyond the FFN
+    assert kinds[-1] in ("fully sharded", "MHA-only")
+    # more sharding as bandwidth rises: monotone non-decreasing shard count
+    counts = [p.plan.num_sharded for _, _, p in plans]
+    assert all(a <= b for a, b in zip(counts, counts[1:])), counts

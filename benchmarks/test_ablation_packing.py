@@ -1,0 +1,60 @@
+"""Ablation — gradient packing threshold mu (§4.7.1).
+
+Sweeps mu on the data-parallel T5-large plan (the gradient-traffic-heavy
+case) and reports bucket counts and gradient-sync time.  Packing's win
+comes from amortising per-collective latency; past a point, larger mu
+stops helping because bandwidth, not latency, dominates.
+"""
+
+from repro.baselines import dp_plan
+from repro.core import (
+    CostConfig,
+    CostModel,
+    DEFAULT_REGISTRY,
+    PackingConfig,
+    route_plan,
+)
+from repro.models import build_t5
+from repro.viz import format_table
+
+from common import emit, nodes_for, mesh_16w
+
+MUS = (0, 1 << 18, 1 << 22, 1 << 25)
+
+
+def run():
+    ng = nodes_for(build_t5())
+    mesh = mesh_16w()
+    routed = route_plan(ng, dp_plan(ng), DEFAULT_REGISTRY)
+    results = []
+    # disabled packing baseline
+    cm = CostModel(mesh, CostConfig(packing=PackingConfig(enabled=False)))
+    bd = cm.estimate(routed)
+    results.append(("disabled", bd.num_gradient_buckets, bd.gradient_comm))
+    for mu in MUS:
+        cfg = CostConfig(
+            packing=PackingConfig(mu=mu, chunk_bytes=max(mu, 32 << 20))
+        )
+        bd = CostModel(mesh, cfg).estimate(routed)
+        results.append((f"mu={mu >> 10}KiB", bd.num_gradient_buckets, bd.gradient_comm))
+    return results
+
+
+def test_ablation_packing(run_once):
+    results = run_once(run)
+    emit(
+        "ablation_packing",
+        format_table(
+            ["packing", "gradient buckets", "gradient sync (ms)"],
+            [[name, buckets, f"{t * 1e3:.1f}"] for name, buckets, t in results],
+            title="Ablation: gradient packing threshold (DP plan, T5-large, 2x8)",
+        ),
+    )
+    disabled = results[0]
+    best = min(results[1:], key=lambda r: r[2])
+    # packing reduces bucket count dramatically and sync time measurably
+    assert best[1] < disabled[1] / 3
+    assert best[2] < disabled[2]
+    # bucket count decreases monotonically with mu
+    by_mu = [r[1] for r in results[1:]]
+    assert all(a >= b for a, b in zip(by_mu, by_mu[1:]))

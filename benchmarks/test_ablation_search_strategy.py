@@ -1,0 +1,58 @@
+"""Ablation — block-search strategy (why the paper enumerates exhaustively).
+
+Compares exhaustive enumeration (the paper's Algorithm 2), greedy
+coordinate descent and beam search on the transformer block.  The
+landscape finding: sharding decisions are *coupled* (the FFN col+row pair
+only pays off jointly), so greedy stalls at data parallelism while beam-4
+recovers the optimum at ~5 % of the exhaustive candidate count — and
+pruning is what makes exhaustive affordable in the first place.
+"""
+
+from repro.cluster import paper_testbed
+from repro.core import coarsen
+from repro.core.strategies import STRATEGIES, search_block
+from repro.graph import trim_auxiliary
+from repro.models import build_t5
+from repro.viz import format_table
+
+from common import emit, nodes_for
+
+
+def run():
+    ng = nodes_for(build_t5())
+    block = ng.subgraph([n.name for n in ng if "encoder/layer_0" in n.name])
+    mesh = paper_testbed()
+    return {
+        name: search_block(block, mesh, 8, strategy=name)
+        for name in STRATEGIES
+    }
+
+
+def test_ablation_search_strategy(run_once):
+    results = run_once(run)
+    emit(
+        "ablation_search_strategy",
+        format_table(
+            ["strategy", "candidates", "valid", "best cost (ms)", "time (s)"],
+            [
+                [
+                    name,
+                    r.candidates,
+                    r.valid,
+                    f"{r.best_cost * 1e3:.2f}",
+                    f"{r.seconds:.2f}",
+                ]
+                for name, r in results.items()
+            ],
+            title="Ablation: block-search strategy on the T5-large layer",
+        ),
+    )
+    exhaustive = results["exhaustive"]
+    # exhaustive is optimal by construction
+    assert all(r.best_cost >= exhaustive.best_cost - 1e-12
+               for r in results.values())
+    # beam matches the optimum with a fraction of the candidates
+    assert results["beam"].best_cost <= exhaustive.best_cost * 1.0001
+    assert results["beam"].candidates < exhaustive.candidates / 5
+    # greedy stalls: the coupled col+row decision defeats coordinate descent
+    assert results["greedy"].best_cost > exhaustive.best_cost

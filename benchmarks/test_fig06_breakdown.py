@@ -1,0 +1,90 @@
+"""Fig. 6 — time breakdown for tensor-parallel plans on T5-large, 8w/16w.
+
+Regenerates the profiled bars: computation vs. communication time for the
+DP / MHA / FFN / Megatron plans on one node (8 workers) and two nodes
+(16 workers), and checks the figure's qualitative claims:
+
+* inter-node communication is the main bottleneck for tensor parallelism;
+* going 8w -> 16w widens the comm/compute gap;
+* the best plan does not shard every weight tensor (16w-FFN).
+"""
+
+from repro.baselines import dp_plan, ffn_only_plan, megatron_plan, mha_only_plan
+from repro.core import DEFAULT_REGISTRY, CostConfig, route_plan
+from repro.models import build_t5
+from repro.simulator import simulate_iteration
+from repro.viz import format_table
+
+from common import emit, nodes_for, mesh_16w, mesh_8w
+
+CFG = CostConfig(batch_tokens=16 * 512)  # the paper's batch size 16
+
+
+def breakdown():
+    ng = nodes_for(build_t5())
+    rows = []
+    profiles = {}
+    for label, mesh in (("8w", mesh_8w()), ("16w", mesh_16w())):
+        plans = {
+            "DP": dp_plan(ng),
+            "MHA": mha_only_plan(ng, 8),
+            "FFN": ffn_only_plan(ng, 8),
+            "Megatron": megatron_plan(ng, 8),
+        }
+        for name, plan in plans.items():
+            routed = route_plan(ng, plan, DEFAULT_REGISTRY)
+            prof = simulate_iteration(routed, mesh, CFG)
+            profiles[(label, name)] = prof
+            rows.append(
+                [
+                    f"{label}-{name}",
+                    f"{prof.compute_time * 1e3:.0f}",
+                    f"{prof.comm_time * 1e3:.0f}",
+                    f"{prof.exposed_comm_time * 1e3:.0f}",
+                    f"{prof.iteration_time * 1e3:.0f}",
+                ]
+            )
+    return rows, profiles
+
+
+def test_fig06_time_breakdown(run_once):
+    rows, profiles = run_once(breakdown)
+    emit(
+        "fig06_breakdown",
+        format_table(
+            ["plan", "compute (ms)", "comm (ms)", "exposed comm (ms)", "iteration (ms)"],
+            rows,
+            title="Fig. 6: time breakdown, T5-large plans on 8/16 workers",
+        ),
+    )
+    # comm/compute gap widens from 8w to 16w for every plan
+    for name in ("DP", "MHA", "FFN", "Megatron"):
+        r8 = profiles[("8w", name)]
+        r16 = profiles[("16w", name)]
+        gap8 = r8.comm_time / max(r8.compute_time, 1e-12)
+        gap16 = r16.comm_time / max(r16.compute_time, 1e-12)
+        assert gap16 > gap8, f"{name}: comm/compute gap must widen at 16w"
+    # the bottleneck shift (§4.6): DP's gradient traffic, largely hidden
+    # inside one node, becomes dominantly exposed over inter-node Ethernet
+    dp8, dp16 = profiles[("8w", "DP")], profiles[("16w", "DP")]
+    assert dp16.exposed_comm_time > 3 * dp8.exposed_comm_time
+    assert (dp16.exposed_comm_time / dp16.comm_time
+            > dp8.exposed_comm_time / dp8.comm_time)
+    # the paper's winner at 16w: FFN-only beats DP, the fully sharded
+    # Megatron and MHA-only on communication cost (the model TAP optimises)
+    from repro.core import CostModel
+
+    ng = nodes_for(build_t5())
+    cm = CostModel(mesh_16w(), CFG)
+    costs = {
+        name: cm.plan_cost(route_plan(ng, plan, DEFAULT_REGISTRY))
+        for name, plan in {
+            "DP": dp_plan(ng),
+            "MHA": mha_only_plan(ng, 8),
+            "FFN": ffn_only_plan(ng, 8),
+            "Megatron": megatron_plan(ng, 8),
+        }.items()
+    }
+    assert costs["FFN"] < costs["DP"]
+    assert costs["FFN"] < costs["MHA"]
+    assert costs["FFN"] < costs["Megatron"]

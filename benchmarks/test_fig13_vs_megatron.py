@@ -1,0 +1,77 @@
+"""Fig. 13 — TAP's best plan vs. the expert-engineered Megatron plan.
+
+The paper compares memory per device and training speed on T5-large:
+TAP's discovered plan is more memory-efficient than Megatron while being
+only 2.3%–14.8% slower per step.
+
+In our reproduction TAP's winner (FFN-only + vocab-split embeddings) is
+*comparable* to Megatron on step time — in fact slightly faster on this
+simulated fabric, since it halves the per-layer activation collectives —
+and both sharded plans sit far below the data-parallel baseline on
+memory.  Two deviations from the paper's exact ordering are recorded in
+EXPERIMENTS.md: our simulator ranks TAP's plan a little faster (the
+paper: 2.3%-14.8% slower), and our per-device accounting gives Megatron
+the lower weight memory (the paper's figure shows TAP lower).
+"""
+
+from repro.baselines import dp_plan, megatron_plan
+from repro.core import CostConfig, DEFAULT_REGISTRY, derive_plan, route_plan
+from repro.models import build_t5
+from repro.simulator import memory_per_device, simulate_iteration
+from repro.viz import format_table
+
+from common import emit, nodes_for, mesh_16w
+
+CFG = CostConfig(batch_tokens=16 * 512)
+
+
+def compare():
+    ng = nodes_for(build_t5())
+    mesh = mesh_16w()
+    tap = derive_plan(ng, mesh, cost_config=CFG)
+    plans = {
+        "TAP best": tap.routed,
+        "Megatron": route_plan(ng, megatron_plan(ng, 8, shard_embedding=True),
+                               DEFAULT_REGISTRY),
+        "DP": route_plan(ng, dp_plan(ng), DEFAULT_REGISTRY),
+    }
+    out = {}
+    for name, routed in plans.items():
+        prof = simulate_iteration(routed, mesh, CFG)
+        mem = memory_per_device(routed, mesh, CFG)
+        out[name] = (prof.iteration_time, mem.total, mem)
+    return out
+
+
+def test_fig13_tap_vs_megatron(run_once):
+    results = run_once(compare)
+    rows = [
+        [
+            name,
+            f"{t * 1e3:.0f}",
+            f"{mem / (1 << 30):.2f}",
+            f"{detail.weights / (1 << 30):.2f}",
+            f"{detail.activations / (1 << 30):.2f}",
+        ]
+        for name, (t, mem, detail) in results.items()
+    ]
+    emit(
+        "fig13_vs_megatron",
+        format_table(
+            ["plan", "step (ms)", "memory (GB)", "weights (GB)", "activations (GB)"],
+            rows,
+            title="Fig. 13: TAP best plan vs. Megatron on T5-large (2x8)",
+        ),
+    )
+    tap_t, tap_mem, _ = results["TAP best"]
+    meg_t, meg_mem, _ = results["Megatron"]
+    dp_t, dp_mem, _ = results["DP"]
+    # speed: TAP and Megatron are comparable — within a +/-40% band (the
+    # paper reports TAP 2.3%..14.8% slower; our fabric ranks TAP's plan
+    # slightly faster — deviation recorded in EXPERIMENTS.md)
+    assert 0.6 * meg_t <= tap_t <= 1.4 * meg_t, (tap_t, meg_t)
+    # both sharded plans use far less memory than data parallelism
+    assert tap_mem < dp_mem
+    assert meg_mem < dp_mem
+    # and TAP's plan must actually be tensor parallel, not the DP fallback
+    assert (tap_t, tap_mem) != (dp_t, dp_mem)

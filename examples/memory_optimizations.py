@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Composing TAP with AMP and gradient checkpointing (paper §4.8).
+
+The paper positions TAP as one graph pass among several: automatic mixed
+precision and activation recomputation address memory from different
+angles and stack with the tensor-parallel plan.  This example derives the
+TAP plan for a T5 stack, then layers the two memory passes on top and
+reports the per-device footprint at each step.
+
+Run:  python examples/memory_optimizations.py
+"""
+
+from repro.cluster import paper_testbed
+from repro.core import coarsen, derive_plan
+from repro.graph import trim_auxiliary
+from repro.models import TransformerConfig, build_t5
+from repro.passes import apply_amp, select_recompute_scopes
+from repro.simulator import memory_per_device, simulate_iteration
+from repro.viz import format_table
+
+
+def main() -> None:
+    mesh = paper_testbed()
+    model = build_t5(
+        TransformerConfig(name="t5", encoder_layers=8, decoder_layers=8,
+                          hidden=1024, ffn_dim=4096, num_heads=16)
+    )
+    trimmed, _ = trim_auxiliary(model)
+
+    rows = []
+
+    def report(label, graph, extra_master=0, recompute=None):
+        ng = coarsen(graph)
+        search = derive_plan(ng, mesh)
+        mem = memory_per_device(
+            search.routed, mesh,
+            extra_master_bytes=extra_master, recompute=recompute,
+        )
+        prof = simulate_iteration(search.routed, mesh, recompute=recompute)
+        rows.append([
+            label,
+            search.plan.describe()[:40],
+            f"{mem.weights / (1 << 30):.2f}",
+            f"{mem.activations / (1 << 30):.2f}",
+            f"{mem.total_gb:.2f}",
+            f"{prof.iteration_time * 1e3:.0f} ms",
+        ])
+        return ng
+
+    report("TAP only (fp32)", trimmed)
+
+    amp = apply_amp(trimmed)
+    ng16 = report("TAP + AMP", amp.graph, extra_master=amp.master_weight_bytes)
+
+    policy = select_recompute_scopes(ng16)
+    report("TAP + AMP + checkpointing", amp.graph,
+           extra_master=amp.master_weight_bytes, recompute=policy)
+
+    print(format_table(
+        ["configuration", "plan", "weights (GB)", "activations (GB)",
+         "total (GB)", "step"],
+        rows,
+        title="Memory per device as optimisation passes stack (T5 8+8, 2x8)",
+    ))
+    print()
+    print("Each pass attacks a different term: TAP shards weights, AMP "
+          "halves activation and gradient bytes (at the cost of fp32 "
+          "masters), checkpointing drops stored activations for ~17% more "
+          "backward compute.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Mixture-of-Experts planning: expert parallelism via the SRC abstraction.
+
+MoE layers stack per-expert FFN weights on a leading expert dimension
+(paper Table 1: WideNet, V-MoE, Switch, and the §6.5 M6-MoE models).
+Under SRC, expert parallelism is simply SPLIT(0) on the stacked weights
+with AllToAll dispatch/combine — TAP discovers it like any other pattern.
+
+Run:  python examples/moe_expert_parallel.py
+"""
+
+import repro as tap
+from repro.models import MoEConfig, build_moe_transformer
+from repro.simulator import memory_per_device
+from repro.viz import format_table
+
+
+def main() -> None:
+    mesh = tap.split([2, 8])
+    rows = []
+    for experts in (8, 32, 128):
+        model = build_moe_transformer(
+            MoEConfig(
+                name=f"moe_{experts}e", hidden=512, ffn_dim=2048, num_heads=8,
+                num_layers=6, num_experts=experts, moe_every=2,
+            )
+        )
+        result = tap.auto_parallel(model, mesh)
+        expert_patterns = {
+            v for k, v in result.plan.as_dict.items() if k.endswith("/experts")
+        }
+        mem = memory_per_device(result.routed, mesh, None)
+        rows.append([
+            experts,
+            f"{model.num_parameters() / 1e6:.0f}M",
+            f"tp={result.tp_degree}",
+            ",".join(sorted(expert_patterns)) or "replicate",
+            f"{mem.total_gb:.2f} GB",
+            f"{result.search.search_seconds:.2f}s",
+        ])
+    print(format_table(
+        ["experts", "params", "plan", "expert-weight pattern", "mem/device",
+         "search"],
+        rows,
+        title="TAP on MoE transformers (mesh 2x8)",
+    ))
+    print()
+    print("As experts multiply, the stacked expert weights dwarf the rest "
+          "of the model and expert-splitting becomes the discovered plan; "
+          "per-device memory stays bounded while total parameters explode — "
+          "the mechanism behind the paper's M6-MoE-1T run (§6.5).")
+
+
+if __name__ == "__main__":
+    main()

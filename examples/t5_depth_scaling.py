@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Depth scaling (paper §3.3, Fig. 3b): search cost stays flat as T5 grows.
+
+Dense transformers scale by stacking identical layers, so TAP's shared-
+subgraph pruning keeps the searched block constant while the model grows.
+This example sweeps the layer count, runs the full derivation at each
+depth, and contrasts the (flat) number of examined candidates with the
+(growing) graph size.
+
+Run:  python examples/t5_depth_scaling.py
+"""
+
+from repro.cluster import paper_testbed
+from repro.core import coarsen, derive_plan
+from repro.graph import trim_auxiliary
+from repro.models import t5_with_depth
+from repro.viz import format_table
+
+
+def main() -> None:
+    mesh = paper_testbed()
+    rows = []
+    for layers in (2, 6, 12, 24):
+        model = t5_with_depth(layers, hidden=512, ffn=2048)
+        trimmed, _ = trim_auxiliary(model)
+        nodes = coarsen(trimmed)
+        result = derive_plan(nodes, mesh)
+        sharded = sorted(
+            {v for v in result.plan.as_dict.values() if v != "replicate"}
+        )
+        rows.append([
+            layers,
+            f"{model.num_parameters() / 1e6:.0f}M",
+            len(nodes),
+            result.prune.nodes_after,
+            result.candidates_examined,
+            f"{result.search_seconds:.2f}s",
+            ",".join(sharded) or "data-parallel",
+        ])
+    print(format_table(
+        ["layers/stack", "params", "graph nodes", "searched nodes",
+         "candidates", "search time", "winning patterns"],
+        rows,
+        title="TAP search vs. T5 depth (paper testbed, 2x8 GPUs)",
+    ))
+    print()
+    print("Graph nodes grow linearly with depth; the searched block and the "
+          "candidate count do not — the sublinearity of Table 2 and Fig. 9.")
+
+
+if __name__ == "__main__":
+    main()

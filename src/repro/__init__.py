@@ -1,0 +1,34 @@
+"""repro — a reproduction of TAP/TAPAS: automatic tensor-parallel planning.
+
+TAP derives data/tensor-parallel training plans for arbitrary neural
+networks by pruning the search space to shared subgraphs, enumerating SRC
+sharding patterns, and pricing candidates with a communication cost model.
+
+Quickstart::
+
+    import repro as tap
+    from repro.models import build_t5
+
+    model = build_t5()
+    result = tap.auto_parallel(model, tap.split([2, 8]))
+    print(result.describe())
+"""
+
+from .core import (
+    ParallelizedModel,
+    ShardingPlan,
+    auto_parallel,
+    split,
+)
+from .cluster import Mesh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParallelizedModel",
+    "ShardingPlan",
+    "auto_parallel",
+    "split",
+    "Mesh",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""What-if analysis: compare plans and sweep configurations.
+
+The planner answers "what is the best plan for this model on this mesh?";
+this module answers the surrounding questions a practitioner asks next:
+
+* how do the named strategies compare on my model / mesh / batch?
+* how does the winner change as I scale the batch, the mesh, the fabric?
+* where does a given plan's time and memory actually go?
+
+Everything returns plain dataclasses/dicts so callers can feed dashboards
+or the bundled text renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .baselines import NAMED_PLANS
+from .cluster import Mesh
+from .core import (
+    CostConfig,
+    CostModel,
+    DEFAULT_REGISTRY,
+    NodeGraph,
+    PatternRegistry,
+    RoutedPlan,
+    RoutingError,
+    ShardingPlan,
+    derive_plan,
+    route_plan,
+)
+from .simulator import memory_per_device, simulate_iteration
+from .viz import format_table
+
+__all__ = ["PlanEvaluation", "evaluate_plan", "compare_plans", "sweep"]
+
+
+@dataclass
+class PlanEvaluation:
+    """One plan priced on one configuration."""
+
+    name: str
+    plan: ShardingPlan
+    comm_cost: float
+    iteration_time: float
+    exposed_comm_time: float
+    memory_bytes: int
+    valid: bool = True
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / (1 << 30)
+
+    def as_row(self) -> List:
+        return [
+            self.name,
+            f"{self.comm_cost * 1e3:.1f}",
+            f"{self.iteration_time * 1e3:.1f}",
+            f"{self.exposed_comm_time * 1e3:.1f}",
+            f"{self.memory_gb:.2f}",
+        ]
+
+
+def evaluate_plan(
+    node_graph: NodeGraph,
+    plan: ShardingPlan,
+    mesh: Mesh,
+    config: Optional[CostConfig] = None,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    name: Optional[str] = None,
+) -> PlanEvaluation:
+    """Price one plan; invalid plans return a marked, infinite evaluation."""
+    label = name or plan.name or "plan"
+    try:
+        routed = route_plan(node_graph, plan, registry)
+    except RoutingError:
+        return PlanEvaluation(
+            name=label, plan=plan, comm_cost=float("inf"),
+            iteration_time=float("inf"), exposed_comm_time=float("inf"),
+            memory_bytes=0, valid=False,
+        )
+    cfg = config or CostConfig()
+    cm = CostModel(mesh, cfg)
+    prof = simulate_iteration(routed, mesh, cfg)
+    mem = memory_per_device(routed, mesh, cfg)
+    return PlanEvaluation(
+        name=label,
+        plan=plan,
+        comm_cost=cm.plan_cost(routed),
+        iteration_time=prof.iteration_time,
+        exposed_comm_time=prof.exposed_comm_time,
+        memory_bytes=mem.total,
+    )
+
+
+def compare_plans(
+    node_graph: NodeGraph,
+    mesh: Mesh,
+    tp_degree: Optional[int] = None,
+    config: Optional[CostConfig] = None,
+    include_tap: bool = True,
+    extra_plans: Optional[Dict[str, ShardingPlan]] = None,
+) -> List[PlanEvaluation]:
+    """Evaluate the named strategies (and TAP's pick) side by side.
+
+    Returns evaluations sorted by communication cost (TAP's objective).
+    """
+    tp = tp_degree if tp_degree is not None else mesh.gpus_per_node
+    evaluations: List[PlanEvaluation] = []
+    for name, builder in NAMED_PLANS.items():
+        evaluations.append(
+            evaluate_plan(node_graph, builder(node_graph, tp), mesh, config,
+                          name=name)
+        )
+    if include_tap:
+        result = derive_plan(node_graph, mesh, cost_config=config)
+        evaluations.append(
+            evaluate_plan(node_graph, result.plan, mesh, config, name="tap")
+        )
+    for name, plan in (extra_plans or {}).items():
+        evaluations.append(evaluate_plan(node_graph, plan, mesh, config, name=name))
+    evaluations.sort(key=lambda e: e.comm_cost)
+    return evaluations
+
+
+def sweep(
+    node_graph: NodeGraph,
+    configurations: Dict[str, Mesh],
+    batch_tokens: Sequence[int] = (16 * 512,),
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+) -> List[Dict]:
+    """Derive TAP's plan across meshes × batch sizes.
+
+    Returns one record per configuration: the discovered plan summary, its
+    cost and the simulated step time — the raw data behind "how does the
+    best plan move as my system changes?".
+    """
+    records: List[Dict] = []
+    for mesh_name, mesh in configurations.items():
+        for tokens in batch_tokens:
+            cfg = CostConfig(batch_tokens=tokens)
+            result = derive_plan(node_graph, mesh, registry=registry,
+                                 cost_config=cfg)
+            prof = simulate_iteration(result.routed, mesh, cfg)
+            records.append(
+                {
+                    "mesh": mesh_name,
+                    "batch_tokens": tokens,
+                    "tp_degree": result.tp_degree,
+                    "num_sharded": result.plan.num_sharded,
+                    "plan": result.plan.describe(),
+                    "comm_cost": result.cost,
+                    "iteration_time": prof.iteration_time,
+                    "search_seconds": result.search_seconds,
+                }
+            )
+    return records
+
+
+def render_comparison(evaluations: List[PlanEvaluation], title: str = "") -> str:
+    """Text table of a :func:`compare_plans` result."""
+    return format_table(
+        ["plan", "comm cost (ms)", "step (ms)", "exposed comm (ms)",
+         "memory (GB)"],
+        [e.as_row() for e in evaluations if e.valid],
+        title=title,
+    )

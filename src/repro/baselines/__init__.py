@@ -1,0 +1,29 @@
+"""Comparator systems: fixed expert plans, Alpa-like and FlexFlow-like search."""
+
+from .fixed import (
+    NAMED_PLANS,
+    SUFFIX_RULES,
+    dp_plan,
+    ffn_only_plan,
+    megatron_plan,
+    mha_only_plan,
+    plan_from_suffixes,
+)
+from .alpa_like import AlpaResult, PipelinePlan, PipelineStage, alpa_like_search
+from .flexflow_like import MCMCResult, flexflow_like_search
+
+__all__ = [
+    "NAMED_PLANS",
+    "SUFFIX_RULES",
+    "dp_plan",
+    "ffn_only_plan",
+    "megatron_plan",
+    "mha_only_plan",
+    "plan_from_suffixes",
+    "AlpaResult",
+    "PipelinePlan",
+    "PipelineStage",
+    "alpa_like_search",
+    "MCMCResult",
+    "flexflow_like_search",
+]

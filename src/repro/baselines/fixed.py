@@ -1,0 +1,108 @@
+"""Named fixed plans: DP, MHA-only, FFN-only, Megatron (Fig. 6 & 14).
+
+These are the hand-written strategies the paper profiles against: pure data
+parallelism, sharding only the attention projections, sharding only the
+feed-forward pair, and the full Megatron-LM recipe.  Each builder assigns
+patterns by node-name suffix over a NodeGraph, so they apply to any model
+in the zoo whose layers follow the standard naming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.graphnode import NodeGraph
+from ..core.plan import ShardingPlan
+
+__all__ = [
+    "SUFFIX_RULES",
+    "plan_from_suffixes",
+    "dp_plan",
+    "mha_only_plan",
+    "ffn_only_plan",
+    "megatron_plan",
+    "NAMED_PLANS",
+]
+
+#: Suffix → pattern rules for each named strategy.
+SUFFIX_RULES: Dict[str, Dict[str, str]] = {
+    "dp": {},
+    "mha_only": {
+        "mha/q": "split_col",
+        "mha/k": "split_col",
+        "mha/v": "split_col",
+        "mha/o": "split_row",
+    },
+    "ffn_only": {
+        "ffn/intermediate": "split_col",
+        "ffn/output": "split_row",
+    },
+    "megatron": {
+        "mha/q": "split_col",
+        "mha/k": "split_col",
+        "mha/v": "split_col",
+        "mha/o": "split_row",
+        "ffn/intermediate": "split_col",
+        "ffn/output": "split_row",
+    },
+}
+
+
+def plan_from_suffixes(
+    node_graph: NodeGraph,
+    suffix_patterns: Dict[str, str],
+    tp_degree: int,
+    name: str = "",
+) -> ShardingPlan:
+    """Assign a pattern to every weight node whose name ends with a rule key."""
+    mapping: Dict[str, str] = {}
+    for node in node_graph.weight_nodes():
+        for suffix, pattern in suffix_patterns.items():
+            if node.name.endswith(suffix):
+                mapping[node.name] = pattern
+    return ShardingPlan.of(mapping, tp_degree, name=name)
+
+
+def dp_plan(node_graph: NodeGraph) -> ShardingPlan:
+    """Pure data parallelism: every weight replicated, tp = 1."""
+    return ShardingPlan.of({}, 1, name="dp")
+
+
+def mha_only_plan(node_graph: NodeGraph, tp_degree: int) -> ShardingPlan:
+    """Shard only the attention projections (Fig. 6's "MHA")."""
+    return plan_from_suffixes(
+        node_graph, SUFFIX_RULES["mha_only"], tp_degree, name="mha_only"
+    )
+
+
+def ffn_only_plan(node_graph: NodeGraph, tp_degree: int) -> ShardingPlan:
+    """Shard only the feed-forward pair — the paper's surprise winner."""
+    return plan_from_suffixes(
+        node_graph, SUFFIX_RULES["ffn_only"], tp_degree, name="ffn_only"
+    )
+
+
+def megatron_plan(
+    node_graph: NodeGraph, tp_degree: int, shard_embedding: bool = False
+) -> ShardingPlan:
+    """The expert-engineered Megatron-LM recipe [20]: column-parallel
+    QKV/intermediate, row-parallel output projections; optionally the
+    vocabulary-split embedding Megatron also applies."""
+    mapping = dict(
+        plan_from_suffixes(
+            node_graph, SUFFIX_RULES["megatron"], tp_degree
+        ).as_dict
+    )
+    if shard_embedding:
+        for node in node_graph.weight_nodes():
+            if node.name.endswith("/embed"):
+                mapping[node.name] = "split_vocab"
+    return ShardingPlan.of(mapping, tp_degree, name="megatron")
+
+
+NAMED_PLANS = {
+    "dp": lambda ng, tp: dp_plan(ng),
+    "mha_only": mha_only_plan,
+    "ffn_only": ffn_only_plan,
+    "megatron": megatron_plan,
+}

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``plan``
+    Derive a plan for a zoo preset on a mesh, print it (and the Fig. 14
+    rendering), optionally save it as JSON.
+``models``
+    List the model zoo presets with their sizes.
+``inspect``
+    Show a model's graph statistics, GraphNode compression and the
+    shared-subgraph families Algorithm 1 finds.
+``simulate``
+    Price a named plan (dp / mha_only / ffn_only / megatron / a saved
+    JSON plan) on a mesh: step time, breakdown, per-device memory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import Mesh, paper_testbed
+from .core import (
+    CostConfig,
+    CostModel,
+    DEFAULT_REGISTRY,
+    coarsen,
+    derive_plan,
+    load_plan,
+    route_plan,
+    save_plan,
+)
+from .graph import trim_auxiliary
+from .models import MODEL_PRESETS, build_preset
+from .baselines import NAMED_PLANS
+from .simulator import memory_per_device, simulate_iteration
+from .viz import format_table, render_plan
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_mesh(text: str, fabric: str) -> Mesh:
+    try:
+        nodes, gpus = (int(x) for x in text.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"mesh must look like '2x8', got {text!r}")
+    if fabric == "paper":
+        return paper_testbed(nodes, gpus)
+    return Mesh(nodes, gpus)
+
+
+def _prep(preset: str):
+    graph = build_preset(preset)
+    trimmed, _ = trim_auxiliary(graph)
+    return graph, coarsen(trimmed)
+
+
+def cmd_models(args) -> int:
+    rows = []
+    for name in sorted(MODEL_PRESETS):
+        graph = build_preset(name)
+        s = graph.stats()
+        rows.append(
+            [name, f"{s['parameters'] / 1e6:.0f}M", s["operators"], s["weights"]]
+        )
+    print(format_table(["preset", "params", "ops", "weights"], rows,
+                       title="model zoo"))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from .core import prune_graph
+
+    graph, ng = _prep(args.model)
+    s = graph.stats()
+    print(format_table(
+        ["ops", "edges", "weights", "params", "GraphNodes"],
+        [[s["operators"], s["edges"], s["weights"],
+          f"{s['parameters'] / 1e6:.0f}M", len(ng)]],
+        title=f"{args.model}",
+    ))
+    result = prune_graph(ng, min_duplicate=args.min_duplicate)
+    print()
+    print(result.describe())
+    return 0
+
+
+def cmd_plan(args) -> int:
+    _, ng = _prep(args.model)
+    mesh = _parse_mesh(args.mesh, args.fabric)
+    result = derive_plan(
+        ng, mesh,
+        cost_config=CostConfig(batch_tokens=args.batch_tokens),
+        min_duplicate=args.min_duplicate,
+    )
+    print(f"model: {args.model}   mesh: {mesh}")
+    print(f"searched {result.candidates_examined} candidates "
+          f"({result.valid_plans} valid) in {result.search_seconds:.2f}s")
+    print(f"best: {result.plan.describe()}")
+    print(f"cost: {result.cost * 1e3:.2f} ms (communication objective)")
+    print()
+    print(render_plan(ng, result.plan, title="discovered plan"))
+    if args.output:
+        save_plan(result.plan, args.output)
+        print(f"\nplan saved to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    _, ng = _prep(args.model)
+    mesh = _parse_mesh(args.mesh, args.fabric)
+    cfg = CostConfig(batch_tokens=args.batch_tokens)
+
+    if args.plan in NAMED_PLANS:
+        plan = NAMED_PLANS[args.plan](ng, args.tp)
+    else:
+        plan = load_plan(args.plan, ng)
+    routed = route_plan(ng, plan, DEFAULT_REGISTRY)
+    prof = simulate_iteration(routed, mesh, cfg)
+    mem = memory_per_device(routed, mesh, cfg)
+    cost = CostModel(mesh, cfg).plan_cost(routed)
+    print(format_table(
+        ["plan", "step (ms)", "comm (ms)", "exposed (ms)", "cost (ms)",
+         "memory (GB)"],
+        [[
+            args.plan,
+            f"{prof.iteration_time * 1e3:.1f}",
+            f"{prof.comm_time * 1e3:.1f}",
+            f"{prof.exposed_comm_time * 1e3:.1f}",
+            f"{cost * 1e3:.1f}",
+            f"{mem.total_gb:.2f}",
+        ]],
+        title=f"{args.model} on {mesh}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TAP/TAPAS automatic tensor parallelism"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("models", help="list model presets")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("inspect", help="graph stats + shared subgraphs")
+    p.add_argument("model", choices=sorted(MODEL_PRESETS))
+    p.add_argument("--min-duplicate", type=int, default=2)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("plan", help="derive the best plan for a model")
+    p.add_argument("model", choices=sorted(MODEL_PRESETS))
+    p.add_argument("--mesh", default="2x8", help="workers x gpus, e.g. 2x8")
+    p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
+    p.add_argument("--batch-tokens", type=int, default=16 * 512)
+    p.add_argument("--min-duplicate", type=int, default=2)
+    p.add_argument("-o", "--output", help="save the plan as JSON")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("simulate", help="price a named or saved plan")
+    p.add_argument("model", choices=sorted(MODEL_PRESETS))
+    p.add_argument("--plan", default="megatron",
+                   help="dp|mha_only|ffn_only|megatron or a JSON plan path")
+    p.add_argument("--tp", type=int, default=8)
+    p.add_argument("--mesh", default="2x8")
+    p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
+    p.add_argument("--batch-tokens", type=int, default=16 * 512)
+    p.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

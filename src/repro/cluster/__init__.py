@@ -1,0 +1,33 @@
+"""Hardware substrate: device meshes, interconnects, collective timing."""
+
+from .topology import (
+    GB,
+    DeviceGroup,
+    Interconnect,
+    Mesh,
+    PCIE_INTRA,
+    V100_PCIE_ETHERNET,
+    paper_testbed,
+)
+from .collectives import (
+    COLLECTIVES,
+    EFFICIENCY,
+    CollectiveModel,
+    collective_time,
+    collective_wire_bytes,
+)
+
+__all__ = [
+    "GB",
+    "DeviceGroup",
+    "Interconnect",
+    "Mesh",
+    "V100_PCIE_ETHERNET",
+    "PCIE_INTRA",
+    "paper_testbed",
+    "COLLECTIVES",
+    "EFFICIENCY",
+    "CollectiveModel",
+    "collective_time",
+    "collective_wire_bytes",
+]

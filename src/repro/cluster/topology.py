@@ -1,0 +1,156 @@
+"""Physical training system S(m, n): nodes, accelerators, interconnects.
+
+The paper's testbed is nodes of 8× V100 linked by PCIe inside a node and
+32 Gbps Ethernet between nodes.  We model exactly that hierarchy: a mesh of
+``m`` worker nodes × ``n`` accelerators, a two-level bandwidth/latency
+matrix, and device groups whose *effective* link is the slowest hop they
+span.  Everything is configurable so benchmarks can sweep fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["Interconnect", "Mesh", "DeviceGroup", "V100_PCIE_ETHERNET"]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """One link class: sustained bandwidth (bytes/s) and per-message latency."""
+
+    bandwidth: float
+    latency: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ValueError("bandwidth must be positive, latency non-negative")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Time to move *num_bytes* point-to-point over this link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.latency + num_bytes / self.bandwidth
+
+
+#: Paper testbed: 8x V100 SXM2 per node (NVLink-class intra-node fabric —
+#: NCCL rings sustain tens of GB/s), 32 Gbps (4 GB/s) Ethernet between
+#: nodes, with typical NCCL launch latencies.
+V100_PCIE_ETHERNET = {
+    "intra": Interconnect(bandwidth=48 * GB, latency=6e-6, name="nvlink"),
+    "inter": Interconnect(bandwidth=4 * GB, latency=30e-6, name="ethernet-32g"),
+}
+
+#: PCIe-only hosts: NCCL rings that cross the CPU root complex sustain
+#: well under the 16 GB/s x16 line rate — ~6 GB/s effective is typical for
+#: V100-era PCIe 3.0 systems (and matches the paper's observation that the
+#: intra-node fabric, not just Ethernet, bottlenecks tensor parallelism).
+PCIE_INTRA = Interconnect(bandwidth=6 * GB, latency=8e-6, name="pcie")
+
+
+def paper_testbed(num_nodes: int = 2, gpus_per_node: int = 8) -> "Mesh":
+    """The evaluation testbed of §6.1: 8x V100 per node, PCIe inside the
+    node (the paper's §4.6 profiling attributes intra-node traffic to
+    PCI-e), 32 Gbps Ethernet between nodes."""
+    return Mesh(
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        intra=PCIE_INTRA,
+        inter=V100_PCIE_ETHERNET["inter"],
+    )
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """Device mesh S(m, n): ``num_nodes`` workers × ``gpus_per_node`` each.
+
+    Device ids are dense: device d lives on node ``d // gpus_per_node``.
+    """
+
+    num_nodes: int
+    gpus_per_node: int
+    intra: Interconnect = V100_PCIE_ETHERNET["intra"]
+    inter: Interconnect = V100_PCIE_ETHERNET["inter"]
+    device_memory: int = 32 * GB  # V100 SXM2 32 GB
+    device_flops: float = 15.7e12  # V100 fp32 peak
+    #: Sustained fraction of peak FLOPs dense training actually achieves
+    #: (model FLOPs utilisation); ~0.3 is typical for fp32 V100 training.
+    compute_efficiency: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0 or self.gpus_per_node <= 0:
+            raise ValueError("mesh dims must be positive")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained per-device FLOP rate: peak × utilisation."""
+        return self.device_flops * self.compute_efficiency
+
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.num_nodes, self.gpus_per_node)
+
+    def node_of(self, device: int) -> int:
+        if not (0 <= device < self.num_devices):
+            raise ValueError(f"device {device} out of range")
+        return device // self.gpus_per_node
+
+    def devices_on_node(self, node: int) -> List[int]:
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range")
+        start = node * self.gpus_per_node
+        return list(range(start, start + self.gpus_per_node))
+
+    def link_between(self, a: int, b: int) -> Interconnect:
+        """The link class connecting two devices (intra if co-resident)."""
+        return self.intra if self.node_of(a) == self.node_of(b) else self.inter
+
+    def all_devices(self) -> List[int]:
+        return list(range(self.num_devices))
+
+    def group(self, devices: Sequence[int] | None = None) -> "DeviceGroup":
+        """A communication group; defaults to every device in the mesh."""
+        return DeviceGroup(self, tuple(devices if devices is not None else self.all_devices()))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh({self.num_nodes}x{self.gpus_per_node})"
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """An ordered set of devices participating in one collective."""
+
+    mesh: Mesh
+    devices: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("device group must be non-empty")
+        if len(set(self.devices)) != len(self.devices):
+            raise ValueError("duplicate devices in group")
+        for d in self.devices:
+            self.mesh.node_of(d)  # validates range
+
+    @property
+    def size(self) -> int:
+        return len(self.devices)
+
+    @property
+    def spans_nodes(self) -> bool:
+        nodes = {self.mesh.node_of(d) for d in self.devices}
+        return len(nodes) > 1
+
+    @property
+    def bottleneck(self) -> Interconnect:
+        """Slowest link any ring through this group must cross."""
+        return self.mesh.inter if self.spans_nodes else self.mesh.intra

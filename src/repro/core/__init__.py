@@ -1,0 +1,86 @@
+"""TAP core: IR coarsening, pruning, patterns, search, cost, rewriting."""
+
+from .graphnode import GraphNode, NodeGraph, coarsen
+from .pruning import PruneResult, SubgraphFamily, prune_graph
+from .patterns import (
+    CONVERSIONS,
+    DEFAULT_REGISTRY,
+    FALLBACK_REPLICATE,
+    InvalidTransition,
+    Layout,
+    PatternRegistry,
+    ShardingPattern,
+    conversion_comm,
+    default_registry,
+)
+from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
+from .routing import NONLINEAR_OPS, RoutingError, is_valid, route_plan
+from .cost import CostBreakdown, CostConfig, CostModel, plan_cost
+from .packing import Bucket, PackingConfig, pack_gradients
+from .planner import (
+    FamilySearch,
+    SearchResult,
+    derive_plan,
+    enumerate_block_plans,
+)
+from .rewrite import COLLECTIVE_TO_OP, RewriteResult, rewrite_graph
+from .strategies import STRATEGIES, StrategyResult, search_block
+from .serialize import (
+    PlanLoadError,
+    load_plan,
+    plan_from_json,
+    plan_to_json,
+    save_plan,
+)
+from .api import ParallelizedModel, auto_parallel, split
+
+__all__ = [
+    "GraphNode",
+    "NodeGraph",
+    "coarsen",
+    "PruneResult",
+    "SubgraphFamily",
+    "prune_graph",
+    "CONVERSIONS",
+    "DEFAULT_REGISTRY",
+    "FALLBACK_REPLICATE",
+    "InvalidTransition",
+    "Layout",
+    "PatternRegistry",
+    "ShardingPattern",
+    "conversion_comm",
+    "default_registry",
+    "CommEvent",
+    "NodeShard",
+    "RoutedPlan",
+    "ShardingPlan",
+    "NONLINEAR_OPS",
+    "RoutingError",
+    "is_valid",
+    "route_plan",
+    "CostBreakdown",
+    "CostConfig",
+    "CostModel",
+    "plan_cost",
+    "Bucket",
+    "PackingConfig",
+    "pack_gradients",
+    "FamilySearch",
+    "SearchResult",
+    "derive_plan",
+    "enumerate_block_plans",
+    "COLLECTIVE_TO_OP",
+    "RewriteResult",
+    "rewrite_graph",
+    "STRATEGIES",
+    "StrategyResult",
+    "search_block",
+    "PlanLoadError",
+    "load_plan",
+    "plan_from_json",
+    "plan_to_json",
+    "save_plan",
+    "ParallelizedModel",
+    "auto_parallel",
+    "split",
+]

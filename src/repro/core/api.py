@@ -1,0 +1,144 @@
+"""Public entry points — the paper's Example 1 interface.
+
+.. code-block:: python
+
+    import repro as tap
+
+    mesh = tap.split([2, 8])               # 2 workers x 8 GPUs
+    result = tap.auto_parallel(model_graph, mesh)
+    result.plan.describe()                 # the discovered sharding plan
+    result.graph                           # the rewritten parallel graph
+
+``auto_parallel`` runs the whole pipeline: trim → coarsen → prune →
+enumerate → route → cost → rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..cluster import Mesh
+from ..graph import Graph, trim_auxiliary
+from .cost import CostBreakdown, CostConfig, CostModel
+from .graphnode import NodeGraph, coarsen
+from .packing import PackingConfig
+from .patterns import DEFAULT_REGISTRY, PatternRegistry
+from .plan import RoutedPlan, ShardingPlan
+from .planner import SearchResult, derive_plan
+from .rewrite import RewriteResult, rewrite_graph
+from .routing import route_plan
+
+__all__ = ["split", "auto_parallel", "ParallelizedModel"]
+
+
+def split(mesh_shape: Sequence[int] | Mesh) -> Mesh:
+    """Build the device mesh S(m, n) from ``[workers, gpus_per_worker]``.
+
+    Mirrors the paper's ``tap.split(mesh)`` annotation; an existing
+    :class:`Mesh` passes through so callers can customise interconnects.
+    """
+    if isinstance(mesh_shape, Mesh):
+        return mesh_shape
+    shape = list(mesh_shape)
+    if len(shape) != 2:
+        raise ValueError(f"mesh must be [workers, gpus_per_worker], got {mesh_shape}")
+    return Mesh(num_nodes=shape[0], gpus_per_node=shape[1])
+
+
+@dataclass
+class ParallelizedModel:
+    """Everything ``auto_parallel`` produces for one model/mesh pair."""
+
+    mesh: Mesh
+    search: SearchResult
+    rewrite: RewriteResult
+    node_graph: NodeGraph
+    breakdown: CostBreakdown
+
+    @property
+    def plan(self) -> ShardingPlan:
+        return self.search.plan
+
+    @property
+    def routed(self) -> RoutedPlan:
+        return self.search.routed
+
+    @property
+    def graph(self) -> Graph:
+        """The rewritten parallel graph (one device's SPMD program)."""
+        return self.rewrite.graph
+
+    @property
+    def tp_degree(self) -> int:
+        return self.search.tp_degree
+
+    @property
+    def estimated_iteration_time(self) -> float:
+        return self.breakdown.iteration_time
+
+    def describe(self) -> str:
+        s = self.search
+        lines = [
+            f"mesh: {self.mesh}",
+            f"plan: {s.plan.describe()}",
+            f"candidates examined: {s.candidates_examined} "
+            f"(valid: {s.valid_plans})",
+            f"search time: {s.search_seconds:.2f}s",
+            f"estimated iteration time: {self.breakdown.iteration_time * 1e3:.1f} ms "
+            f"(comm {self.breakdown.comm_time * 1e3:.1f} ms)",
+            f"communication ops inserted: {self.rewrite.num_comm_ops}",
+            f"gradient buckets: {self.rewrite.num_gradient_buckets}",
+        ]
+        return "\n".join(lines)
+
+
+def auto_parallel(
+    model: Graph,
+    mesh: Mesh | Sequence[int],
+    batch_tokens: int = 16 * 512,
+    min_duplicate: int = 2,
+    tp_degrees: Optional[Sequence[int]] = None,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    cost_config: Optional[CostConfig] = None,
+    packing: Optional[PackingConfig] = None,
+    use_pruning: bool = True,
+) -> ParallelizedModel:
+    """Derive and apply the best data/tensor-parallel plan for *model*.
+
+    Parameters mirror the paper's knobs: ``min_duplicate`` is Algorithm 1's
+    threshold, ``tp_degrees`` restricts the tensor-parallel degrees tried
+    (default: 1, one node's GPUs, and the whole mesh), ``use_pruning=False``
+    searches the unpruned graph (the ablation baseline).
+    """
+    mesh = split(mesh)
+    cost_config = cost_config or CostConfig(
+        batch_tokens=batch_tokens, packing=packing or PackingConfig()
+    )
+    trimmed, record = trim_auxiliary(model)
+    node_graph = coarsen(trimmed)
+    search = derive_plan(
+        node_graph,
+        mesh,
+        registry=registry,
+        cost_config=cost_config,
+        min_duplicate=min_duplicate,
+        tp_degrees=tp_degrees,
+        use_pruning=use_pruning,
+    )
+    rewrite = rewrite_graph(
+        trimmed,
+        node_graph,
+        search.routed,
+        trim_record=record,
+        packing=cost_config.packing,
+        registry=registry,
+    )
+    breakdown = CostModel(mesh, cost_config).estimate(search.routed)
+    return ParallelizedModel(
+        mesh=mesh,
+        search=search,
+        rewrite=rewrite,
+        node_graph=node_graph,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,207 @@
+"""The communication-based cost model (§4.6).
+
+The model prices a routed plan on a concrete mesh:
+
+* **Forward phase** — layer computation blocks on its input, so forward
+  collectives serialise with compute: they sum along the critical path.
+* **Backward phase** — activation-gradient collectives over the TP axis
+  serialise, but weight-gradient synchronisation over the DP axis is
+  independent of the update stage and *overlaps* with backward compute
+  (§4.6 "gradient overlap/aggregation"); only the excess spills into the
+  critical path.  Gradient packing (§4.7.1) first fuses the per-variable
+  packets so small tensors stop paying per-collective latency.
+* **Trainable-only rule** — only non-constant parameters communicate in the
+  backward phase; routing already encodes this (frozen weights emit no
+  gradient events).
+* **Collective efficiency** — AllGather/AllToAll move bytes slower than
+  NCCL's AllReduce; inherited from :mod:`repro.cluster.collectives` and
+  switchable for the ablation.
+
+``plan_cost`` is the scalar Algorithm 2 minimises (communication seconds by
+default, matching the paper); ``estimate`` returns the full breakdown the
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import DeviceGroup, Mesh, collective_time
+from .packing import PackingConfig, pack_gradients
+from .plan import CommEvent, RoutedPlan
+
+__all__ = ["CostConfig", "CostBreakdown", "CostModel", "plan_cost"]
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Cost-model knobs.
+
+    ``objective`` selects what :meth:`CostModel.plan_cost` returns:
+    ``"comm"`` (the paper's pure communication cost), ``"time"`` (estimated
+    iteration time, used by the cost-model ablation).
+    """
+
+    batch_tokens: int = 16 * 512
+    packing: PackingConfig = field(default_factory=PackingConfig)
+    use_efficiency: bool = True
+    overlap_gradients: bool = True
+    objective: str = "comm"
+    backward_flops_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.batch_tokens <= 0:
+            raise ValueError("batch_tokens must be positive")
+        if self.objective not in ("comm", "time"):
+            raise ValueError(f"bad objective {self.objective!r}")
+
+
+@dataclass
+class CostBreakdown:
+    """Where an iteration's time goes under a plan."""
+
+    forward_compute: float = 0.0
+    backward_compute: float = 0.0
+    forward_comm: float = 0.0
+    backward_tp_comm: float = 0.0
+    gradient_comm: float = 0.0        # dp-axis sync, before overlap
+    overlapped_gradient_comm: float = 0.0  # what overlap hides
+    num_gradient_buckets: int = 0
+
+    @property
+    def compute_time(self) -> float:
+        return self.forward_compute + self.backward_compute
+
+    @property
+    def comm_time(self) -> float:
+        """Total communication on the critical path."""
+        exposed_grad = self.gradient_comm - self.overlapped_gradient_comm
+        return self.forward_comm + self.backward_tp_comm + exposed_grad
+
+    @property
+    def total_comm_time(self) -> float:
+        """All communication, whether or not overlap hides it."""
+        return self.forward_comm + self.backward_tp_comm + self.gradient_comm
+
+    @property
+    def iteration_time(self) -> float:
+        return self.compute_time + self.comm_time
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "forward_compute": self.forward_compute,
+            "backward_compute": self.backward_compute,
+            "forward_comm": self.forward_comm,
+            "backward_tp_comm": self.backward_tp_comm,
+            "gradient_comm": self.gradient_comm,
+            "overlapped_gradient_comm": self.overlapped_gradient_comm,
+            "compute_time": self.compute_time,
+            "comm_time": self.comm_time,
+            "iteration_time": self.iteration_time,
+        }
+
+
+class CostModel:
+    """Prices routed plans on one mesh."""
+
+    def __init__(self, mesh: Mesh, config: CostConfig | None = None) -> None:
+        self.mesh = mesh
+        self.config = config or CostConfig()
+
+    # ------------------------------------------------------------------
+    # device groups for a plan's tp/dp factorisation
+    # ------------------------------------------------------------------
+    def groups(self, tp_degree: int) -> Tuple[DeviceGroup, DeviceGroup, DeviceGroup]:
+        """(tp group, dp group, all group) for the canonical packed layout.
+
+        TP groups are ``tp`` consecutive devices (filling nodes first); the
+        DP group for shard gradient sync strides across TP groups, so it
+        spans nodes as soon as replicas live on different nodes; the *all*
+        group (data-parallel gradient sync of replicated weights) covers
+        the whole mesh.  Groups are representative — all TP groups are
+        isomorphic under the packed layout, so pricing one suffices.
+        """
+        P = self.mesh.num_devices
+        if tp_degree < 1 or P % tp_degree != 0:
+            raise ValueError(
+                f"tp_degree {tp_degree} must divide device count {P}"
+            )
+        tp_group = self.mesh.group(list(range(tp_degree)))
+        dp = P // tp_degree
+        dp_group = self.mesh.group([k * tp_degree for k in range(dp)])
+        return tp_group, dp_group, self.mesh.group()
+
+    def dp_degree(self, tp_degree: int) -> int:
+        return self.mesh.num_devices // tp_degree
+
+    # ------------------------------------------------------------------
+    def estimate(self, routed: RoutedPlan) -> CostBreakdown:
+        """Full cost breakdown of one routed plan."""
+        cfg = self.config
+        tp_group, dp_group, all_group = self.groups(routed.tp_degree)
+        groups = {"tp": tp_group, "dp": dp_group, "all": all_group}
+        dp = self.dp_degree(routed.tp_degree)
+        tokens_per_replica = max(cfg.batch_tokens // dp, 1)
+
+        bd = CostBreakdown()
+        # Gradient streams are packed and priced per synchronisation group.
+        grad_streams: Dict[str, List[int]] = {"dp": [], "all": []}
+
+        for name in routed.order:
+            shard = routed.shards[name]
+            # compute ----------------------------------------------------
+            t_fwd = (
+                shard.flops * tokens_per_replica * shard.compute_share
+                / self.mesh.effective_flops
+            )
+            bd.forward_compute += t_fwd
+            bd.backward_compute += cfg.backward_flops_factor * t_fwd
+            # communication ----------------------------------------------
+            for ev in shard.events:
+                if ev.overlappable and ev.axis in grad_streams:
+                    grad_streams[ev.axis].append(ev.nbytes(tokens_per_replica))
+                    continue
+                t = collective_time(
+                    ev.collective,
+                    ev.nbytes(tokens_per_replica),
+                    groups[ev.axis],
+                    use_efficiency=cfg.use_efficiency,
+                )
+                if ev.phase == "forward":
+                    bd.forward_comm += t
+                else:
+                    bd.backward_tp_comm += t
+
+        # gradient synchronisation: pack, then price over each group ------
+        grad_time = 0.0
+        for axis, stream in grad_streams.items():
+            buckets = pack_gradients(stream, cfg.packing)
+            bd.num_gradient_buckets += len(buckets)
+            grad_time += sum(
+                collective_time(
+                    "all_reduce",
+                    b.nbytes,
+                    groups[axis],
+                    use_efficiency=cfg.use_efficiency,
+                )
+                for b in buckets
+            )
+        bd.gradient_comm = grad_time
+        if cfg.overlap_gradients:
+            bd.overlapped_gradient_comm = min(grad_time, bd.backward_compute)
+        return bd
+
+    def plan_cost(self, routed: RoutedPlan) -> float:
+        """Scalar objective Algorithm 2 minimises."""
+        bd = self.estimate(routed)
+        if self.config.objective == "comm":
+            return bd.comm_time
+        return bd.iteration_time
+
+
+def plan_cost(
+    routed: RoutedPlan, mesh: Mesh, config: Optional[CostConfig] = None
+) -> float:
+    """Convenience wrapper over :class:`CostModel`."""
+    return CostModel(mesh, config).plan_cost(routed)

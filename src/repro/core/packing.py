@@ -1,0 +1,84 @@
+"""Gradient packing (§4.7.1).
+
+During the backward pass every trainable variable emits one gradient
+packet; most are tiny (norm scales, biases) and each collective pays a
+launch latency.  TAP fuses packets smaller than a threshold ``mu`` into
+larger ones, and segments the fused stream into equally sized chunks so
+gradient synchronisation pipelines with the weight-update stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["PackingConfig", "Bucket", "pack_gradients"]
+
+
+@dataclass(frozen=True)
+class PackingConfig:
+    """Packing knobs: fuse packets < ``mu`` bytes; cap chunks at ``chunk_bytes``."""
+
+    mu: int = 4 << 20            # 4 MiB fusion threshold
+    chunk_bytes: int = 32 << 20  # 32 MiB chunk cap (keeps updates pipelined)
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mu < 0 or self.chunk_bytes <= 0:
+            raise ValueError("mu must be >= 0 and chunk_bytes > 0")
+        if self.enabled and self.mu > self.chunk_bytes:
+            raise ValueError("mu cannot exceed chunk_bytes")
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One fused gradient packet: the byte total and its member count."""
+
+    nbytes: int
+    num_tensors: int
+
+
+def pack_gradients(
+    grad_bytes: Sequence[int], config: PackingConfig | None = None
+) -> List[Bucket]:
+    """Fuse a gradient stream into buckets.
+
+    Packets accumulate in arrival order until the running bucket reaches the
+    ``mu`` fusion target, flushing early when the next packet would push it
+    past ``chunk_bytes`` (a packet larger than ``chunk_bytes`` travels alone
+    — splitting a single tensor is the runtime's job, not the planner's).
+    Conservation holds: the sum of bucket bytes equals the sum of input
+    bytes, and no *fused* bucket exceeds ``chunk_bytes``.
+    """
+    config = config or PackingConfig()
+    for b in grad_bytes:
+        if b < 0:
+            raise ValueError("gradient sizes must be non-negative")
+
+    if not config.enabled:
+        return [Bucket(b, 1) for b in grad_bytes]
+
+    buckets: List[Bucket] = []
+    acc_bytes = 0
+    acc_count = 0
+
+    def flush() -> None:
+        nonlocal acc_bytes, acc_count
+        if acc_count:
+            buckets.append(Bucket(acc_bytes, acc_count))
+            acc_bytes = 0
+            acc_count = 0
+
+    for b in grad_bytes:
+        if b > config.chunk_bytes:
+            flush()
+            buckets.append(Bucket(b, 1))
+            continue
+        if acc_bytes + b > config.chunk_bytes:
+            flush()
+        acc_bytes += b
+        acc_count += 1
+        if acc_bytes >= config.mu:
+            flush()
+    flush()
+    return buckets

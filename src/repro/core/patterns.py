@@ -1,0 +1,296 @@
+"""Sharding patterns under the SRC abstraction (§3.4, §4.4).
+
+A :class:`ShardingPattern` says, for one kind of GraphNode, how its weight is
+laid out over the tensor-parallel axis (*Split* or *Replica*) and what
+activation layouts it consumes and produces.  *Communication* is derived,
+not stored: transitions between a producer's output layout and a consumer's
+required input layout map to collectives via :data:`CONVERSIONS`, and each
+pattern carries the backward-phase collectives its math implies (the
+Megatron f/g conjugate operators fall out of these rules).
+
+Execution model (documented in DESIGN.md)
+-----------------------------------------
+The mesh is factored into a ``dp × tp`` grid: ``tp`` consecutive devices
+form a tensor-parallel group (packed within physical nodes first),
+replicated ``dp = P / tp`` times.  The global batch is split ``dp`` ways
+between groups; *within* a group, activation layouts take four states:
+
+``D``
+    data-parallel: the group's token slice is further split by token across
+    the group members, features whole.  This is the base state — data
+    parallelism is the degenerate tensor parallelism of §3.4 ("sharding on
+    the batch dimension").
+``R``
+    tokens shared group-wide (every member sees the group's whole token
+    slice), features whole — the *Replica* of SRC.
+``S``
+    tokens shared group-wide, features split — the *Split* of SRC.
+``P``
+    tokens shared group-wide, every member holds a full-shape partial
+    summand — resolved by the *Communication* of SRC.
+
+Weights shard independently of activations: a replicated weight trains
+data-parallel (gradient all-reduce across **all** devices that saw distinct
+tokens), a split weight synchronises its shard across the ``dp`` replicas
+only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import OpType, REPLICATE, ShardSpec, split_spec
+from .graphnode import GraphNode
+
+__all__ = [
+    "Layout",
+    "ShardingPattern",
+    "PatternRegistry",
+    "DEFAULT_REGISTRY",
+    "CONVERSIONS",
+    "BACKWARD_MIRROR",
+    "conversion_comm",
+    "InvalidTransition",
+    "FALLBACK_REPLICATE",
+    "default_registry",
+]
+
+
+class Layout:
+    """Activation layout states over the tensor-parallel group."""
+
+    D = "D"  # token-split across the group (data parallel)
+    R = "R"  # tokens shared, features replicated
+    S = "S"  # tokens shared, features split
+    P = "P"  # tokens shared, partial summands
+
+    ALL = ("D", "R", "S", "P")
+
+
+class InvalidTransition(ValueError):
+    """No sharding-pattern chain connects the producer/consumer layouts."""
+
+
+#: (producer output layout, consumer required layout) → forward collective.
+#: ``None`` = free (identity or a local slice).  Missing keys are invalid
+#: transitions — exactly the connectivity check of Algorithm 3.
+CONVERSIONS: Dict[Tuple[str, str], Optional[str]] = {
+    ("D", "D"): None,
+    ("R", "R"): None,
+    ("S", "S"): None,
+    ("R", "S"): None,              # local feature slice
+    ("R", "D"): None,              # local token slice
+    ("D", "R"): "all_gather",      # gather the group's tokens
+    ("D", "S"): "all_to_all",      # gather tokens, scatter features
+    ("S", "D"): "all_to_all",      # gather features, scatter tokens
+    ("S", "R"): "all_gather",
+    ("P", "R"): "all_reduce",
+    ("P", "S"): "reduce_scatter",  # scatter by feature
+    ("P", "D"): "reduce_scatter",  # scatter by token
+    # (P, P), (D, P), (R, P), (S, P) are unroutable.
+}
+
+#: Backward mirror of each forward conversion: gradients traverse the hop in
+#: reverse (a forward slice gathers gradients; a forward all_gather
+#: reduce-scatters them; a forward all_reduce is a backward identity).
+BACKWARD_MIRROR: Dict[Tuple[str, str], Optional[str]] = {
+    ("D", "D"): None,
+    ("R", "R"): None,
+    ("S", "S"): None,
+    ("R", "S"): "all_gather",
+    ("R", "D"): "all_gather",
+    ("D", "R"): "reduce_scatter",
+    ("D", "S"): "all_to_all",
+    ("S", "D"): "all_to_all",
+    ("S", "R"): "reduce_scatter",
+    ("P", "R"): None,
+    ("P", "S"): "all_gather",
+    ("P", "D"): "all_gather",
+}
+
+
+def conversion_comm(src: str, dst: str) -> Tuple[Optional[str], Optional[str]]:
+    """(forward collective, backward collective) for a layout hop.
+
+    Raises :class:`InvalidTransition` when no pattern pair connects the two
+    layouts — the failure mode Algorithm 3's BFS detects.
+    """
+    key = (src, dst)
+    if key not in CONVERSIONS:
+        raise InvalidTransition(f"no sharding pattern connects {src} -> {dst}")
+    return CONVERSIONS[key], BACKWARD_MIRROR[key]
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardingPattern:
+    """One way to shard one kind of GraphNode.
+
+    Attributes
+    ----------
+    name:
+        ``replicate`` / ``split_row`` / ``split_col`` / ``split_expert`` /
+        ``split_vocab`` ...
+    node_kind:
+        The :attr:`GraphNode.kind` this pattern applies to.
+    weight_shard:
+        Layout of the node's primary (largest) weight over the TP axis.
+        Secondary weights (biases, norm scales) follow: split the same way
+        when they carry the split output dimension, else replicated.
+    input_layout / output_layout:
+        Activation layouts consumed / produced (:class:`Layout` letters).
+    backward_tp_comms / forward_tp_comms:
+        Extra collectives beyond layout conversions, as
+        ``(collective, which)`` with ``which`` ∈ {"input", "output"} naming
+        the activation whose bytes move (MoE dispatch/combine, the
+        column-parallel backward all-reduce).
+    """
+
+    name: str
+    node_kind: str
+    weight_shard: ShardSpec
+    input_layout: str
+    output_layout: str
+    backward_tp_comms: Tuple[Tuple[str, str], ...] = ()
+    forward_tp_comms: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        for layout in (self.input_layout, self.output_layout):
+            if layout not in Layout.ALL:
+                raise ValueError(f"bad layout {layout!r}")
+
+    @property
+    def weight_split_axis(self) -> Optional[int]:
+        return self.weight_shard.axis if self.weight_shard.is_split else None
+
+    @property
+    def is_replicate(self) -> bool:
+        return self.weight_shard.is_replicate
+
+    def applicable(self, node: GraphNode, tp_degree: int) -> bool:
+        """Divisibility check: the split weight dim must divide evenly."""
+        if tp_degree == 1:
+            return self.is_replicate
+        if not node.weights:
+            return self.is_replicate
+        primary = max(node.weight_specs, key=lambda w: w.num_elements)
+        if self.weight_shard.is_split:
+            return primary.can_split(self.weight_shard.axis, tp_degree)
+        return True
+
+
+def _p(name, kind, shard, inp, out, bwd=(), fwd=()):
+    return ShardingPattern(
+        name=name,
+        node_kind=kind,
+        weight_shard=shard,
+        input_layout=inp,
+        output_layout=out,
+        backward_tp_comms=tuple(bwd),
+        forward_tp_comms=tuple(fwd),
+    )
+
+
+class PatternRegistry:
+    """Lookup table: GraphNode kind → applicable sharding patterns."""
+
+    def __init__(self) -> None:
+        self._patterns: Dict[str, List[ShardingPattern]] = {}
+
+    def register(self, pattern: ShardingPattern) -> None:
+        bucket = self._patterns.setdefault(pattern.node_kind, [])
+        if any(p.name == pattern.name for p in bucket):
+            raise ValueError(
+                f"duplicate pattern {pattern.name!r} for kind {pattern.node_kind!r}"
+            )
+        bucket.append(pattern)
+
+    def for_kind(self, kind: str) -> List[ShardingPattern]:
+        return list(self._patterns.get(kind, []))
+
+    def lookup(self, kind: str, name: str) -> ShardingPattern:
+        for p in self._patterns.get(kind, []):
+            if p.name == name:
+                return p
+        raise KeyError(f"no pattern {name!r} for kind {kind!r}")
+
+    def options(self, node: GraphNode, tp_degree: int) -> List[ShardingPattern]:
+        """Patterns applicable to *node* at *tp_degree* (never empty —
+        replication is always available, §3.4)."""
+        out = [p for p in self.for_kind(node.kind) if p.applicable(node, tp_degree)]
+        if not out:
+            out = [FALLBACK_REPLICATE]
+        return out
+
+    def kinds(self) -> List[str]:
+        return list(self._patterns)
+
+
+#: Universal fallback: any node can replicate / train data-parallel
+#: (paper §3.4: "we can always fall back to replicating the tensors").
+FALLBACK_REPLICATE = _p("replicate", "*", REPLICATE, Layout.D, Layout.D)
+
+
+def default_registry() -> PatternRegistry:
+    """The paper's sharding patterns for the op kinds in the model zoo."""
+    reg = PatternRegistry()
+
+    # Dense matmul Y = X W, W: (in, out)
+    reg.register(_p("replicate", OpType.MATMUL, REPLICATE, Layout.D, Layout.D))
+    reg.register(
+        _p(  # Megatron column-parallel: free fwd hop from R, bwd all-reduce on dX
+            "split_col", OpType.MATMUL, split_spec(1), Layout.R, Layout.S,
+            bwd=(("all_reduce", "input"),),
+        )
+    )
+    reg.register(
+        _p(  # Megatron row-parallel: produces a partial value
+            "split_row", OpType.MATMUL, split_spec(0), Layout.S, Layout.P,
+        )
+    )
+
+    # Conv2D, W: (kh, kw, cin, cout)
+    reg.register(_p("replicate", OpType.CONV2D, REPLICATE, Layout.D, Layout.D))
+    reg.register(
+        _p("split_cout", OpType.CONV2D, split_spec(3), Layout.R, Layout.S,
+           bwd=(("all_reduce", "input"),))
+    )
+    reg.register(
+        _p("split_cin", OpType.CONV2D, split_spec(2), Layout.S, Layout.P)
+    )
+
+    # Embedding, W: (vocab, hidden)
+    reg.register(_p("replicate", OpType.EMBEDDING, REPLICATE, Layout.D, Layout.D))
+    reg.register(
+        _p(  # vocab-split: local misses contribute zeros, partial sum
+            "split_vocab", OpType.EMBEDDING, split_spec(0), Layout.R, Layout.P,
+        )
+    )
+    reg.register(
+        _p("split_hidden", OpType.EMBEDDING, split_spec(1), Layout.R, Layout.S,
+           bwd=(("all_reduce", "input"),))
+    )
+
+    # Stacked MoE expert matmuls, W: (experts, in, out) — expert parallelism
+    # stays token-split; dispatch/combine are all_to_alls over the tokens.
+    reg.register(_p("replicate", OpType.BATCH_MATMUL, REPLICATE, Layout.D, Layout.D))
+    reg.register(
+        _p(
+            "split_expert", OpType.BATCH_MATMUL, split_spec(0), Layout.D, Layout.D,
+            fwd=(("all_to_all", "input"), ("all_to_all", "output")),
+            bwd=(("all_to_all", "output"), ("all_to_all", "input")),
+        )
+    )
+
+    # Norm-like nodes hold small weights and need the full feature axis.
+    reg.register(_p("replicate", OpType.LAYERNORM, REPLICATE, Layout.D, Layout.D))
+
+    # 1-D / small weight carriers (standalone bias adds, positional tables)
+    reg.register(_p("replicate", OpType.ADD, REPLICATE, Layout.D, Layout.D))
+    return reg
+
+
+DEFAULT_REGISTRY = default_registry()

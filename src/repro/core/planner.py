@@ -1,0 +1,300 @@
+"""Derivation of the optimal plan — Algorithm 2 (§4.4).
+
+``derive_plan`` runs the paper's pipeline end to end:
+
+1. prune the NodeGraph into shared-subgraph families (Algorithm 1);
+2. per family, enumerate every assignment of sharding patterns to the
+   representative block's enumerable weight nodes (the paper's 3-way
+   choice per 2-D weight gives 3^6 = 729 candidates for a transformer
+   block);
+3. validate each candidate by pattern routing (Algorithm 3) and price the
+   valid ones with the communication cost model;
+4. broadcast each family's winner to all its instances, default everything
+   uncovered to replication, and route + price the assembled full plan.
+
+Multiple tensor-parallel degrees can be searched; each family's candidates
+are evaluated per degree and the best assembled plan across degrees wins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..cluster import Mesh
+from .cost import CostConfig, CostModel
+from .graphnode import NodeGraph
+from .patterns import DEFAULT_REGISTRY, PatternRegistry
+from .plan import RoutedPlan, ShardingPlan
+from .pruning import PruneResult, SubgraphFamily, prune_graph
+from .routing import RoutingError, route_plan
+
+__all__ = ["FamilySearch", "SearchResult", "enumerate_block_plans", "derive_plan"]
+
+
+@dataclass
+class FamilySearch:
+    """Search record for one shared-subgraph family at one TP degree."""
+
+    family: SubgraphFamily
+    tp_degree: int
+    candidates: int = 0
+    valid: int = 0
+    best_assignment: Dict[str, str] = field(default_factory=dict)
+    best_cost: float = float("inf")
+
+
+@dataclass
+class SearchResult:
+    """Outcome of Algorithm 2 over the whole model."""
+
+    plan: ShardingPlan
+    routed: RoutedPlan
+    cost: float
+    prune: PruneResult
+    families: List[FamilySearch] = field(default_factory=list)
+    candidates_examined: int = 0
+    valid_plans: int = 0
+    search_seconds: float = 0.0
+
+    @property
+    def tp_degree(self) -> int:
+        return self.plan.tp_degree
+
+
+def _enumerable_groups(
+    block: NodeGraph, registry: PatternRegistry, tp_degree: int
+) -> List[Tuple[List[str], List[str]]]:
+    """Decision groups: (node names sharing the decision, option names).
+
+    Weight nodes that are structurally identical *and* play the same role
+    (same basename — ``mha/q`` and ``cross_mha/q``) share one pattern
+    decision, mirroring the paper's per-weight-tensor count (3 choices for
+    each of the 6 distinct transformer-layer weights → 729 candidates).
+    """
+    groups: Dict[Tuple, Tuple[List[str], List[str]]] = {}
+    for node in block.weight_nodes():
+        options = [p.name for p in registry.options(node, tp_degree)]
+        if len(options) <= 1:
+            continue
+        basename = node.name.rsplit("/", 1)[-1]
+        key = (node.signature(), basename, tuple(options))
+        if key in groups:
+            groups[key][0].append(node.name)
+        else:
+            groups[key] = ([node.name], options)
+    return list(groups.values())
+
+
+def enumerate_block_plans(
+    block: NodeGraph,
+    registry: PatternRegistry,
+    tp_degree: int,
+    max_plans: int = 50_000,
+) -> Iterator[ShardingPlan]:
+    """All pattern assignments over a block's decision groups.
+
+    Yields at most ``max_plans`` (a guard against pathological blocks; the
+    all-replicate assignment is the first combination, so a fallback always
+    exists).
+    """
+    enumerable = _enumerable_groups(block, registry, tp_degree)
+    name_groups = [names for names, _ in enumerable]
+    option_lists = [opts for _, opts in enumerable]
+    count = 0
+    for combo in itertools.product(*option_lists):
+        if count >= max_plans:
+            return
+        assignment = {
+            name: pattern
+            for names, pattern in zip(name_groups, combo)
+            for name in names
+        }
+        yield ShardingPlan.of(assignment, tp_degree)
+        count += 1
+    if count == 0:
+        yield ShardingPlan.of({}, tp_degree)
+
+
+def _broadcast_assignment(
+    family: SubgraphFamily, template_assignment: Dict[str, str]
+) -> Dict[str, str]:
+    """Map a template block's assignment onto every family instance.
+
+    Instance member lists are index-aligned with the template's (they come
+    from the same traversal of structurally identical blocks).
+    """
+    template_members = family.member_nodes[0]
+    index = {name: i for i, name in enumerate(template_members)}
+    full: Dict[str, str] = {}
+    for members in family.member_nodes:
+        for tmpl_name, pattern in template_assignment.items():
+            full[members[index[tmpl_name]]] = pattern
+    return full
+
+
+def _candidate_tp_degrees(mesh: Mesh, requested: Optional[Sequence[int]]) -> List[int]:
+    if requested is not None:
+        degrees = sorted(set(requested))
+    else:
+        degrees = sorted({1, mesh.gpus_per_node, mesh.num_devices})
+    out = []
+    for d in degrees:
+        if d < 1 or mesh.num_devices % d != 0:
+            raise ValueError(
+                f"tp degree {d} must divide the device count {mesh.num_devices}"
+            )
+        out.append(d)
+    return out
+
+
+def derive_plan(
+    node_graph: NodeGraph,
+    mesh: Mesh,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    cost_config: Optional[CostConfig] = None,
+    min_duplicate: int = 2,
+    tp_degrees: Optional[Sequence[int]] = None,
+    max_plans_per_block: int = 50_000,
+    use_pruning: bool = True,
+) -> SearchResult:
+    """Run the full TAP derivation (Algorithm 2) and return the best plan.
+
+    ``use_pruning=False`` searches the whole graph as a single block — the
+    ablation that demonstrates why Algorithm 1 matters.
+    """
+    start = time.perf_counter()
+    cost_model = CostModel(mesh, cost_config)
+    prune = prune_graph(node_graph, min_duplicate=min_duplicate if use_pruning else 0)
+
+    best: Optional[SearchResult] = None
+    family_records: List[FamilySearch] = []
+    total_candidates = 0
+    total_valid = 0
+
+    for tp in _candidate_tp_degrees(mesh, tp_degrees):
+        assignment: Dict[str, str] = {}
+        records_this_tp: List[FamilySearch] = []
+        if use_pruning:
+            blocks: List[Tuple[Optional[SubgraphFamily], NodeGraph]] = [
+                (fam, node_graph.subgraph(fam.member_nodes[0], name=fam.normalized))
+                for fam in prune.families
+            ]
+            # Weight nodes outside every family (a unique wide classifier,
+            # the embeddings) still need sharding decisions: search them as
+            # one residual block.  This is the paper's ResNet case — the
+            # single giant FC layer is exactly what must get sharded.
+            if prune.uncovered:
+                residual = node_graph.subgraph(prune.uncovered, name="uncovered")
+                if residual.weight_nodes():
+                    blocks.append((None, residual))
+        else:
+            blocks = [(None, node_graph)]
+
+        uncovered_block: Optional[NodeGraph] = None
+        for fam, block in blocks:
+            if fam is None and use_pruning:
+                uncovered_block = block  # handled after the families
+                continue
+            record = FamilySearch(family=fam, tp_degree=tp)
+            for candidate in enumerate_block_plans(
+                block, registry, tp, max_plans=max_plans_per_block
+            ):
+                record.candidates += 1
+                try:
+                    routed_block = route_plan(block, candidate, registry)
+                except RoutingError:
+                    continue
+                record.valid += 1
+                cost = cost_model.plan_cost(routed_block)
+                if cost < record.best_cost:
+                    record.best_cost = cost
+                    record.best_assignment = candidate.as_dict
+            records_this_tp.append(record)
+            total_candidates += record.candidates
+            total_valid += record.valid
+            if record.best_assignment:
+                if fam is not None:
+                    assignment.update(_broadcast_assignment(fam, record.best_assignment))
+                else:
+                    assignment.update(record.best_assignment)
+
+        # Uncovered weight nodes (embeddings, a unique classifier) interact
+        # with the family plans through their boundary conversions, so they
+        # are priced against the *full* graph with the family assignment
+        # fixed.  Joint enumeration would be exponential in the number of
+        # unique nodes; one greedy coordinate-descent pass (largest weights
+        # first, each group's options tried with the others held fixed)
+        # needs only a few full-graph routing passes and reliably shards
+        # the dominant unique tensor — the paper's wide-FC case.
+        if uncovered_block is not None:
+            record = FamilySearch(family=None, tp_degree=tp)
+            groups = _enumerable_groups(uncovered_block, registry, tp)
+            groups.sort(
+                key=lambda g: -max(
+                    uncovered_block.node(n).num_parameters for n in g[0]
+                )
+            )
+            current: Dict[str, str] = {}
+
+            def full_cost(extra: Dict[str, str]) -> Optional[float]:
+                merged = ShardingPlan.of({**assignment, **extra}, tp)
+                try:
+                    routed = route_plan(node_graph, merged, registry)
+                except RoutingError:
+                    return None
+                return cost_model.plan_cost(routed)
+
+            base_cost = full_cost(current)
+            record.candidates += 1
+            if base_cost is not None:
+                record.valid += 1
+                record.best_cost = base_cost
+            for names, options in groups:
+                best_option, best_cost_here = "replicate", record.best_cost
+                for option in options:
+                    if option == "replicate":
+                        continue
+                    record.candidates += 1
+                    trial = dict(current)
+                    trial.update({n: option for n in names})
+                    cost = full_cost(trial)
+                    if cost is None:
+                        continue
+                    record.valid += 1
+                    if cost < best_cost_here:
+                        best_cost_here = cost
+                        best_option = option
+                if best_option != "replicate":
+                    current.update({n: best_option for n in names})
+                    record.best_cost = best_cost_here
+            record.best_assignment = current
+            records_this_tp.append(record)
+            total_candidates += record.candidates
+            total_valid += record.valid
+            assignment.update(current)
+
+        family_records.extend(records_this_tp)
+        full_plan = ShardingPlan.of(assignment, tp, name=f"tap-tp{tp}")
+        try:
+            routed_full = route_plan(node_graph, full_plan, registry)
+        except RoutingError:
+            continue
+        cost = cost_model.plan_cost(routed_full)
+        if best is None or cost < best.cost:
+            best = SearchResult(
+                plan=full_plan,
+                routed=routed_full,
+                cost=cost,
+                prune=prune,
+            )
+
+    if best is None:
+        raise RoutingError("no valid plan found for any tensor-parallel degree")
+    best.families = family_records
+    best.candidates_examined = total_candidates
+    best.valid_plans = total_valid
+    best.search_seconds = time.perf_counter() - start
+    return best

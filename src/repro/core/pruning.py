@@ -1,0 +1,193 @@
+"""Graph pruning using shared subgraphs (§4.3, Algorithm 1).
+
+The pruner builds a name-scope tree over GraphNode names, clusters sibling
+scopes whose names differ only by a trailing repeat index (the
+longest-common-prefix grouping of Algorithm 1), verifies that the clustered
+blocks really share composition via structural fingerprints, and returns
+the *unique* blocks — each with its full instance list — plus every node no
+family covers.  The plan search then runs on one representative block per
+family instead of the whole graph, which is the paper's entire source of
+speed-up.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph.scope import (
+    build_scope_tree,
+    group_sibling_scopes,
+    max_depth,
+    normalize_scope,
+    scopes_at_depth,
+)
+from .graphnode import NodeGraph
+
+__all__ = ["SubgraphFamily", "PruneResult", "prune_graph"]
+
+
+@dataclass(frozen=True)
+class SubgraphFamily:
+    """One shared subgraph: a repeated block and all its instances."""
+
+    template: str                   # scope path of the representative instance
+    instances: Tuple[str, ...]      # scope paths of every instance
+    normalized: str                 # the normalised (index-stripped) scope
+    member_nodes: Tuple[Tuple[str, ...], ...]  # node names per instance
+
+    @property
+    def multiplicity(self) -> int:
+        return len(self.instances)
+
+    @property
+    def block_size(self) -> int:
+        return len(self.member_nodes[0])
+
+    @property
+    def covered_nodes(self) -> int:
+        return sum(len(m) for m in self.member_nodes)
+
+
+@dataclass
+class PruneResult:
+    """Outcome of Algorithm 1."""
+
+    families: List[SubgraphFamily] = field(default_factory=list)
+    uncovered: List[str] = field(default_factory=list)
+    nodes_before: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def nodes_after(self) -> int:
+        """Search-space size after pruning: one representative block per
+        family plus the uncovered remainder."""
+        return sum(f.block_size for f in self.families) + len(self.uncovered)
+
+    @property
+    def compression(self) -> float:
+        return self.nodes_before / max(self.nodes_after, 1)
+
+    def describe(self) -> str:
+        rows = [
+            f"{f.normalized}: {f.multiplicity} instances x {f.block_size} nodes"
+            for f in self.families
+        ]
+        rows.append(f"uncovered: {len(self.uncovered)} nodes")
+        rows.append(f"search space: {self.nodes_before} -> {self.nodes_after}")
+        return "\n".join(rows)
+
+
+def _members_of_scope(all_names: Sequence[str], scope: str) -> List[str]:
+    """Node names living at or under *scope* (including run-split ``#k``)."""
+    prefix = scope + "/"
+    run_prefix = scope + "#"
+    return [
+        n
+        for n in all_names
+        if n == scope or n.startswith(prefix) or n.startswith(run_prefix)
+    ]
+
+
+def _block_fingerprint(graph: NodeGraph, members: Sequence[str]) -> Tuple:
+    """Name-free composition signature of one block instance."""
+    return tuple(sorted((graph.node(m).signature() for m in members), key=repr))
+
+
+def prune_graph(graph: NodeGraph, min_duplicate: int = 2) -> PruneResult:
+    """Run Algorithm 1 over a coarse NodeGraph.
+
+    ``min_duplicate`` is the paper's *minDuplicates* threshold: a sibling
+    scope cluster only becomes a shared subgraph when at least this many
+    instances share an identical composition.  ``min_duplicate <= 1``
+    disables pruning (the paper's "threshold 1 means the graph is
+    unpruned").
+    """
+    start = time.perf_counter()
+    all_names = [n.name for n in graph]
+    result = PruneResult(nodes_before=len(all_names))
+
+    if min_duplicate <= 1:
+        result.uncovered = list(all_names)
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+
+    tree = build_scope_tree(all_names)
+    candidates: List[SubgraphFamily] = []
+
+    # Walk from the deepest scopes up (Algorithm 1 lines 4-12): deeper
+    # levels give small homogeneous blocks, shallower levels larger ones.
+    for depth in range(max_depth(tree), 0, -1):
+        groups = group_sibling_scopes(scopes_at_depth(tree, depth))
+        for normalized, members in groups.items():
+            if len(members) < min_duplicate:
+                continue
+            member_lists = {
+                node.path: _members_of_scope(all_names, node.path) for node in members
+            }
+            # findSimilarBlk: one family per composition class that clears
+            # the threshold (interleaved MoE/dense stacks yield two).
+            fps = {
+                path: _block_fingerprint(graph, names)
+                for path, names in member_lists.items()
+                if names
+            }
+            if not fps:
+                continue
+            for fingerprint, count in Counter(fps.values()).most_common():
+                if count < min_duplicate:
+                    break
+                instances = tuple(
+                    sorted(p for p, fp in fps.items() if fp == fingerprint)
+                )
+                candidates.append(
+                    SubgraphFamily(
+                        template=instances[0],
+                        instances=instances,
+                        normalized=normalized,
+                        member_nodes=tuple(
+                            tuple(member_lists[p]) for p in instances
+                        ),
+                    )
+                )
+
+    # Repeated *single* GraphNodes (e.g. a stack of conv blocks that each
+    # coarsened into one node) never appear as scopes; cluster them by
+    # normalised name directly at their parent scope.
+    for scope_node in tree.walk():
+        ops_by_norm: Dict[str, List[str]] = {}
+        for op_name in scope_node.ops:
+            ops_by_norm.setdefault(normalize_scope(op_name), []).append(op_name)
+        for normalized, names in ops_by_norm.items():
+            if len(names) < min_duplicate or normalized in {n for n in names}:
+                continue
+            fps = {n: _block_fingerprint(graph, [n]) for n in names}
+            for fingerprint, count in Counter(fps.values()).most_common():
+                if count < min_duplicate:
+                    break
+                instances = tuple(sorted(n for n, fp in fps.items() if fp == fingerprint))
+                candidates.append(
+                    SubgraphFamily(
+                        template=instances[0],
+                        instances=instances,
+                        normalized=normalized,
+                        member_nodes=tuple((n,) for n in instances),
+                    )
+                )
+
+    # Prefer the largest blocks; drop families overlapping an accepted one
+    # (a layer family subsumes the per-projection families inside it).
+    candidates.sort(key=lambda f: (f.block_size, f.covered_nodes), reverse=True)
+    taken: set = set()
+    for fam in candidates:
+        fam_nodes = {n for inst in fam.member_nodes for n in inst}
+        if fam_nodes & taken:
+            continue
+        taken |= fam_nodes
+        result.families.append(fam)
+
+    result.uncovered = [n for n in all_names if n not in taken]
+    result.runtime_seconds = time.perf_counter() - start
+    return result

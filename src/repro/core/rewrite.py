@@ -1,0 +1,200 @@
+"""Graph rewriting (§4.7): expand a routed plan into an executable graph.
+
+The rewriter restores the original operator order, replaces weights with
+their local shards, inserts the plan's forward communication operators on
+the edges they convert, computes the gradient-packing buckets, and finally
+re-attaches the auxiliary operators trimmed before planning.  The result is
+a framework-consumable parallel graph — one device's program under SPMD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import Graph, Operator, OpType, TensorSpec, TrimRecord, restore_auxiliary
+from .graphnode import NodeGraph
+from .packing import Bucket, PackingConfig, pack_gradients
+from .patterns import DEFAULT_REGISTRY, PatternRegistry
+from .plan import CommEvent, RoutedPlan
+
+__all__ = ["RewriteResult", "rewrite_graph", "COLLECTIVE_TO_OP"]
+
+COLLECTIVE_TO_OP = {
+    "all_reduce": OpType.ALL_REDUCE,
+    "all_gather": OpType.ALL_GATHER,
+    "reduce_scatter": OpType.REDUCE_SCATTER,
+    "all_to_all": OpType.ALL_TO_ALL,
+    "broadcast": OpType.BROADCAST,
+}
+
+
+@dataclass
+class RewriteResult:
+    """The parallelised graph plus rewrite metadata."""
+
+    graph: Graph
+    num_comm_ops: int = 0
+    gradient_buckets: List[Bucket] = field(default_factory=list)
+    #: op name → local (sharded) weight spec, where it differs from the full
+    local_weights: Dict[str, TensorSpec] = field(default_factory=dict)
+
+    @property
+    def num_gradient_buckets(self) -> int:
+        return len(self.gradient_buckets)
+
+
+def _member_ops(node_graph: NodeGraph) -> Dict[str, List[str]]:
+    return {n.name: [op.name for op in n.ops] for n in node_graph}
+
+
+def rewrite_graph(
+    trimmed: Graph,
+    node_graph: NodeGraph,
+    routed: RoutedPlan,
+    trim_record: Optional[TrimRecord] = None,
+    packing: Optional[PackingConfig] = None,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+) -> RewriteResult:
+    """Produce the parallel version of *trimmed* under *routed*.
+
+    Forward layout-conversion collectives become explicit communication
+    operators spliced onto the producer→consumer edges they serve; weights
+    are narrowed to their local shards; gradient packing runs over the
+    plan's backward gradient stream exactly as §4.7.1 describes.
+    """
+    members = _member_ops(node_graph)
+    op_to_node: Dict[str, str] = {}
+    for node_name, ops in members.items():
+        for op in ops:
+            op_to_node[op] = node_name
+
+    tp = routed.tp_degree
+    result_graph = Graph(name=f"{trimmed.name}@tp{tp}")
+    result = RewriteResult(graph=result_graph)
+    #: (producer op, target layout) → shared comm op name.  One collective's
+    #: result serves every consumer demanding the same layout, mirroring the
+    #: deduplication in routing.
+    spliced: Dict[Tuple[str, str], str] = {}
+
+    for op in trimmed:
+        node_name = op_to_node.get(op.name)
+        shard = routed.shards.get(node_name) if node_name else None
+
+        new_inputs: List[str] = []
+        for src in op.inputs:
+            src_node = op_to_node.get(src)
+            collective = (
+                routed.conversions.get((src_node, shard.input_layout))
+                if shard is not None and src_node not in (None, node_name)
+                else None
+            )
+            if collective:
+                splice_key = (src, shard.input_layout)
+                if splice_key not in spliced:
+                    comm_name = f"{src}/{collective}_to_{shard.input_layout}"
+                    result_graph.add(
+                        Operator(
+                            name=comm_name,
+                            op_type=COLLECTIVE_TO_OP[collective],
+                            inputs=(src,),
+                            output=trimmed.op(src).output,
+                            attrs={"group": "tp", "tp_degree": tp},
+                        )
+                    )
+                    spliced[splice_key] = comm_name
+                    result.num_comm_ops += 1
+                new_inputs.append(spliced[splice_key])
+            else:
+                new_inputs.append(src)
+
+        weight = op.weight
+        if weight is not None and shard is not None and shard.pattern not in (
+            "replicate",
+            "follow",
+        ):
+            weight = _local_weight(op.weight, shard, node_graph, tp, registry)
+            if weight != op.weight:
+                result.local_weights[op.name] = weight
+
+        # MoE dispatch/combine (pattern-level forward comms without a src
+        # edge) wrap the node's first op.
+        extra = [
+            ev
+            for ev in (shard.events if shard else [])
+            if ev.phase == "forward" and not ev.src
+        ]
+        if extra and members[node_name][0] == op.name:
+            for i, ev in enumerate(extra):
+                comm_name = f"{node_name}/{ev.collective}_pre{i}"
+                if comm_name in result_graph:
+                    continue
+                inputs = tuple(new_inputs) or ()
+                result_graph.add(
+                    Operator(
+                        name=comm_name,
+                        op_type=COLLECTIVE_TO_OP[ev.collective],
+                        inputs=inputs,
+                        output=op.output,
+                        attrs={"group": "tp", "tp_degree": tp},
+                    )
+                )
+                new_inputs = [comm_name]
+                result.num_comm_ops += 1
+
+        result_graph.add(
+            Operator(
+                name=op.name,
+                op_type=op.op_type,
+                inputs=tuple(new_inputs),
+                output=op.output,
+                weight=weight,
+                trainable=op.trainable,
+                flops=op.flops,
+                attrs=dict(op.attrs),
+            )
+        )
+
+    # Gradient packing over the plan's backward gradient stream (§4.7.1).
+    grad_stream = [
+        ev.nbytes(1)
+        for ev in routed.events("backward")
+        if ev.overlappable
+    ]
+    result.gradient_buckets = pack_gradients(grad_stream, packing)
+
+    if trim_record is not None:
+        result.graph = restore_auxiliary(result_graph, trim_record)
+    result.graph.validate()
+    return result
+
+
+def _local_weight(
+    full: TensorSpec,
+    shard,
+    node_graph: NodeGraph,
+    tp: int,
+    registry: PatternRegistry,
+) -> TensorSpec:
+    """Local shard spec of one weight under the node's routed pattern.
+
+    Reuses the routing-time accounting: the shard's local byte total tells
+    whether this weight was split; the axis comes from re-deriving against
+    the node's primary weight.
+    """
+    from .routing import _effective_axis, _weight_follows_split
+
+    node = node_graph.node(shard.name)
+    try:
+        pattern = registry.lookup(node.kind, shard.pattern)
+    except KeyError:
+        return full
+    if not pattern.weight_shard.is_split or tp <= 1:
+        return full
+    primary = max(node.weight_specs, key=lambda w: w.num_elements)
+    if not _weight_follows_split(full, primary, pattern):
+        return full
+    axis = _effective_axis(full, primary, pattern)
+    if not full.can_split(axis, tp):
+        return full
+    return full.split(axis, tp)

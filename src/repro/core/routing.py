@@ -1,0 +1,363 @@
+"""Pattern routing — Algorithm 3: validate a plan and derive its collectives.
+
+Routing walks the NodeGraph in topological order (the paper reconstructs
+producer/consumer order the same way, §4.5), assigning each node an
+activation layout over the tensor-parallel group.  Weight nodes take the
+layouts dictated by their assigned pattern; weightless nodes *follow* their
+inputs.  Every hop whose producer layout differs from the consumer's
+required layout resolves through the conversion table in
+:mod:`repro.core.patterns`; an unresolvable hop, an inapplicable pattern, a
+nonlinearity applied to a partial value, or a leaf left partial makes the
+plan invalid — these are the plans Algorithm 2 discards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..graph import OpType, TensorSpec
+from .graphnode import GraphNode, NodeGraph
+from .patterns import (
+    FALLBACK_REPLICATE,
+    InvalidTransition,
+    Layout,
+    PatternRegistry,
+    ShardingPattern,
+    conversion_comm,
+)
+from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
+
+__all__ = ["route_plan", "RoutingError", "is_valid", "NONLINEAR_OPS"]
+
+#: Op types nonlinear in their input: applying them to a PARTIAL value
+#: breaks mathematical equivalence, so a pattern producing P inside such a
+#: node is rejected.
+NONLINEAR_OPS = frozenset(
+    {OpType.RELU, OpType.GELU, OpType.SOFTMAX, OpType.LAYERNORM, OpType.CROSS_ENTROPY}
+)
+
+#: Ops that reduce over the feature axis: they demand whole features and
+#: reject the S layout when appearing in weightless follow nodes.
+FEATURE_AXIS_OPS = frozenset({OpType.LAYERNORM, OpType.CROSS_ENTROPY})
+
+
+class RoutingError(ValueError):
+    """The plan cannot be assembled into a connected sharded graph."""
+
+
+def _has_nonlinearity_after_weight(node: GraphNode) -> bool:
+    """True if a nonlinear op follows the node's primary weighted op."""
+    weighted_seen = False
+    for op in node.ops:
+        if op.has_weight and not weighted_seen:
+            weighted_seen = True
+            continue
+        if weighted_seen and op.op_type in NONLINEAR_OPS:
+            return True
+    return False
+
+
+def _required_layout_follow(input_layouts: List[str]) -> str:
+    """Layout a weightless follow-node demands of all its inputs.
+
+    Any split input pins the node to S (token-shared peers slice for free,
+    token-split peers all_to_all); otherwise a partial forces resolution —
+    scattered back to D when a data-parallel peer exists, else reduced to
+    R; otherwise token-split peers keep the node data-parallel; otherwise
+    the node stays in the token-shared R state of its TP section.
+    """
+    if Layout.S in input_layouts:
+        return Layout.S
+    if Layout.P in input_layouts:
+        return Layout.D if Layout.D in input_layouts else Layout.R
+    if Layout.D in input_layouts:
+        return Layout.D
+    return Layout.R
+
+
+def route_plan(
+    block: NodeGraph,
+    plan: ShardingPlan,
+    registry: PatternRegistry,
+    strict: bool = True,
+) -> RoutedPlan:
+    """Elaborate *plan* over *block*; raises :class:`RoutingError` if invalid.
+
+    Root-to-leaf connectivity (the BFS of Algorithm 3) is implied: the walk
+    visits every node in topological order and fails the moment a hop has
+    no pattern pair, so a completed walk *is* a connected chain of sharding
+    patterns from every root to every leaf.
+    """
+    tp = plan.tp_degree
+    routed = RoutedPlan(plan=plan)
+    layouts: Dict[str, str] = {}
+
+    for name in block.topo_order():
+        node = block.node(name)
+        input_layouts = [layouts[i] for i in node.inputs]
+
+        if node.weights:
+            pattern = _pattern_for_weight_node(node, plan, registry, tp)
+            required = pattern.input_layout
+            out_layout = pattern.output_layout
+            if tp == 1:
+                required = out_layout = Layout.D
+            if out_layout == Layout.P and _has_nonlinearity_after_weight(node):
+                raise RoutingError(
+                    f"{name}: pattern {pattern.name!r} leaves a partial value "
+                    "under a nonlinearity"
+                )
+        else:
+            pattern = None
+            required = (
+                _required_layout_follow(input_layouts) if input_layouts else Layout.D
+            )
+            # Feature-axis nonlinear ops (a loss over the logits, a norm over
+            # the hidden dim) cannot run on a feature shard.  Softmax is
+            # exempt: in traced attention its reduction axis is the folded
+            # sequence dim, which head-splitting never touches.
+            if required == Layout.S and any(
+                op.op_type in FEATURE_AXIS_OPS for op in node.ops
+            ):
+                required = Layout.D if Layout.D in input_layouts else Layout.R
+            out_layout = required
+
+        bwd_input_reduction = pattern is not None and any(
+            which == "input" and coll == "all_reduce"
+            for coll, which in pattern.backward_tp_comms
+        )
+        shard = NodeShard(
+            name=name,
+            kind=node.kind,
+            pattern=pattern.name if pattern else "follow",
+            input_layout=required,
+            output_layout=out_layout,
+            output_spec=node.output_spec,
+            flops=node.flops,
+            bwd_input_reduction=bwd_input_reduction,
+        )
+
+        # --- input conversions ---------------------------------------
+        # Deduplicated per (producer, target layout): one collective's
+        # result serves every consumer demanding the same layout.
+        for src, src_layout in zip(node.inputs, input_layouts):
+            try:
+                fwd, bwd = conversion_comm(src_layout, required)
+            except InvalidTransition as exc:
+                if strict:
+                    raise RoutingError(f"{src} -> {name}: {exc}") from exc
+                fwd, bwd = "all_gather", "reduce_scatter"
+            # Hops into the token-shared R state carry the consumer's
+            # backward semantics: a column-parallel consumer emits partial
+            # input gradients that the hop must reduce (all_reduce when the
+            # producer itself is R, reduce_scatter back to D/S otherwise);
+            # a redundant consumer's gradients are identical copies — the
+            # backward hop is a free slice.
+            if required == Layout.R and src_layout in (
+                Layout.D, Layout.S, Layout.R
+            ):
+                if bwd_input_reduction:
+                    bwd = (
+                        "all_reduce" if src_layout == Layout.R else "reduce_scatter"
+                    )
+                else:
+                    bwd = None
+            if fwd is None and bwd is None:
+                continue
+            key = (src, required)
+            if key in routed.conversions:
+                continue
+            src_spec = block.node(src).output_spec
+            if src_spec is None:
+                continue
+            routed.conversions[key] = fwd or ""
+            if fwd is not None:
+                shard.events.append(
+                    CommEvent("forward", fwd, "tp", src_spec, True, name, src=src)
+                )
+            if bwd is not None:
+                shard.events.append(
+                    CommEvent("backward", bwd, "tp", src_spec, True, name, src=src)
+                )
+
+        input_spec = None
+        for src in node.inputs:
+            spec = block.node(src).output_spec
+            if spec is not None:
+                input_spec = spec
+                break
+        _apply_pattern_effects(shard, node, pattern, tp, input_spec)
+
+        layouts[name] = out_layout
+        routed.shards[name] = shard
+        routed.order.append(name)
+
+    if strict:
+        for leaf in block.leaves():
+            if layouts.get(leaf.name) == Layout.P:
+                raise RoutingError(f"leaf {leaf.name} ends with a partial value")
+    return routed
+
+
+def _pattern_for_weight_node(
+    node: GraphNode,
+    plan: ShardingPlan,
+    registry: PatternRegistry,
+    tp: int,
+) -> ShardingPattern:
+    pattern_name = plan.pattern_for(node.name)
+    if pattern_name == "replicate":
+        for p in registry.for_kind(node.kind):
+            if p.name == "replicate":
+                return p
+        return FALLBACK_REPLICATE
+    try:
+        pattern = registry.lookup(node.kind, pattern_name)
+    except KeyError as exc:
+        raise RoutingError(str(exc)) from exc
+    if not pattern.applicable(node, tp):
+        raise RoutingError(
+            f"{node.name}: pattern {pattern_name!r} not applicable at tp={tp} "
+            f"(weight dims not divisible)"
+        )
+    return pattern
+
+
+def _apply_pattern_effects(
+    shard: NodeShard,
+    node: GraphNode,
+    pattern: Optional[ShardingPattern],
+    tp: int,
+    input_spec: Optional[TensorSpec] = None,
+) -> None:
+    """Fill weight sizes, compute share and pattern-implied collectives."""
+    # Weight accounting ------------------------------------------------
+    primary = (
+        max(node.weight_specs, key=lambda w: w.num_elements)
+        if node.weights
+        else None
+    )
+    local_bytes = 0
+    local_params = 0
+    split_weights = pattern is not None and pattern.weight_shard.is_split and tp > 1
+    for op in node.ops:
+        w = op.weight
+        if w is None:
+            continue
+        if split_weights and _weight_follows_split(w, primary, pattern):
+            local = w.split(_effective_axis(w, primary, pattern), tp)
+        else:
+            local = w
+        local_bytes += local.size_bytes
+        if op.trainable:
+            local_params += local.num_elements
+    shard.local_weight_bytes = local_bytes
+    shard.full_weight_bytes = sum(w.size_bytes for w in node.weight_specs)
+    shard.local_parameters = local_params
+
+    # Compute share ------------------------------------------------------
+    # Split-weight nodes always execute 1/tp of the node's FLOPs (a
+    # row-parallel matmul contracts 1/tp of the inner dim even though its
+    # output is full-shape).  Weightless nodes in D or S process 1/tp of
+    # the group's tokens or features; R and P follow-nodes operate on the
+    # group's whole token slice redundantly.
+    if split_weights:
+        shard.compute_share = 1.0 / tp
+    elif shard.output_layout in (Layout.D, Layout.S):
+        shard.compute_share = 1.0 / tp
+    else:
+        shard.compute_share = 1.0
+
+    # Pattern-implied extra collectives -----------------------------------
+    if pattern is not None and tp > 1:
+        # ``which`` selects the activation each collective moves: "input"
+        # prices the producer's tensor (the column-parallel backward
+        # all-reduce acts on dX), "output" the node's own.
+        specs = {
+            "input": input_spec or shard.output_spec,
+            "output": shard.output_spec,
+        }
+        for phase, comms in (
+            ("forward", pattern.forward_tp_comms),
+            ("backward", pattern.backward_tp_comms),
+        ):
+            for collective, which in comms:
+                if (
+                    phase == "backward"
+                    and which == "input"
+                    and collective == "all_reduce"
+                ):
+                    # already folded into the inbound hop's backward event
+                    continue
+                spec = specs.get(which)
+                if spec is None:
+                    continue
+                shard.events.append(
+                    CommEvent(phase, collective, "tp", spec, True, node.name)
+                )
+
+    # Gradient synchronisation ---------------------------------------------
+    # Replicated trainable weights saw distinct tokens on every device →
+    # all-reduce over the whole mesh.  Split weights synchronise their
+    # shard across the dp replicas only (§4.6 trainable-only rule: frozen
+    # weights emit nothing).
+    if local_params > 0:
+        grad_dtype = primary.dtype if primary is not None else "float32"
+        grad_spec = TensorSpec(
+            (local_params,), grad_dtype, name=f"{node.name}/grads"
+        )
+        shard.events.append(
+            CommEvent(
+                "backward",
+                "all_reduce",
+                "dp" if split_weights else "all",
+                grad_spec,
+                False,
+                node.name,
+                overlappable=True,
+            )
+        )
+
+
+def _weight_follows_split(
+    w: TensorSpec, primary: Optional[TensorSpec], pattern: ShardingPattern
+) -> bool:
+    """Secondary weights (bias, norm scale) split only when the primary's
+    *output* dimension is the one being split and they carry it.
+
+    Splitting the input dimension (row-parallel) must never shard the bias:
+    the bias belongs to the output dimension, which stays whole — even when
+    the weight happens to be square.
+    """
+    if primary is None:
+        return False
+    if w == primary:
+        return True
+    axis = pattern.weight_shard.axis
+    if axis != primary.rank - 1:
+        return False
+    split_dim = primary.shape[axis]
+    return any(d == split_dim and d > 2 for d in w.shape)
+
+
+def _effective_axis(
+    w: TensorSpec, primary: Optional[TensorSpec], pattern: ShardingPattern
+) -> int:
+    if primary is not None and w == primary:
+        return pattern.weight_shard.axis
+    split_dim = primary.shape[pattern.weight_shard.axis] if primary else 0
+    for i, d in enumerate(w.shape):
+        if d == split_dim:
+            return i
+    return 0
+
+
+def is_valid(
+    block: NodeGraph, plan: ShardingPlan, registry: PatternRegistry
+) -> bool:
+    """Boolean form of Algorithm 3 used by the plan generator."""
+    try:
+        route_plan(block, plan, registry)
+        return True
+    except RoutingError:
+        return False

@@ -1,0 +1,99 @@
+"""Plan and search-result serialisation.
+
+A derived plan is an artifact worth keeping: searches take minutes at
+paper scale, and the same plan applies to every training run of the model
+on the same mesh.  Plans serialise to a small, stable JSON document; a
+round-trip through :func:`plan_to_json` / :func:`plan_from_json` is exact.
+
+The schema is versioned so saved plans survive library evolution, and
+loading validates against the target NodeGraph when one is supplied (a
+plan for a different architecture fails fast instead of silently
+replicating everything).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .graphnode import NodeGraph
+from .plan import ShardingPlan
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PlanLoadError",
+    "plan_to_json",
+    "plan_from_json",
+    "save_plan",
+    "load_plan",
+]
+
+SCHEMA_VERSION = 1
+
+
+class PlanLoadError(ValueError):
+    """The document is not a valid serialised plan (or mismatches the graph)."""
+
+
+def plan_to_json(plan: ShardingPlan, indent: Optional[int] = 2) -> str:
+    """Serialise a plan to a JSON string."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro.sharding_plan",
+        "name": plan.name,
+        "tp_degree": plan.tp_degree,
+        "assignment": dict(plan.assignment),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def plan_from_json(
+    text: str, node_graph: Optional[NodeGraph] = None
+) -> ShardingPlan:
+    """Parse a serialised plan; optionally validate against *node_graph*.
+
+    Validation checks that every assigned node exists and carries weights —
+    assignments to unknown nodes indicate the plan belongs to a different
+    model (or model version) and would otherwise be silently ignored.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "repro.sharding_plan":
+        raise PlanLoadError("document is not a serialised sharding plan")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise PlanLoadError(
+            f"unsupported schema version {doc.get('schema')!r} "
+            f"(this library reads version {SCHEMA_VERSION})"
+        )
+    assignment = doc.get("assignment")
+    tp_degree = doc.get("tp_degree")
+    if not isinstance(assignment, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in assignment.items()
+    ):
+        raise PlanLoadError("assignment must map node names to pattern names")
+    if not isinstance(tp_degree, int) or tp_degree < 1:
+        raise PlanLoadError(f"invalid tp_degree {tp_degree!r}")
+
+    if node_graph is not None:
+        weight_names = {n.name for n in node_graph.weight_nodes()}
+        unknown = sorted(set(assignment) - weight_names)
+        if unknown:
+            raise PlanLoadError(
+                f"plan references nodes absent from the graph: {unknown[:5]}"
+            )
+    return ShardingPlan.of(assignment, tp_degree, name=str(doc.get("name", "")))
+
+
+def save_plan(plan: ShardingPlan, path) -> None:
+    """Write a plan to *path* as JSON."""
+    with open(path, "w") as fh:
+        fh.write(plan_to_json(plan))
+        fh.write("\n")
+
+
+def load_plan(path, node_graph: Optional[NodeGraph] = None) -> ShardingPlan:
+    """Read a plan from *path*, optionally validating against a graph."""
+    with open(path) as fh:
+        return plan_from_json(fh.read(), node_graph)

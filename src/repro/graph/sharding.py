@@ -1,0 +1,99 @@
+"""Shard specifications — the S/R/(partial) half of the SRC abstraction.
+
+A :class:`ShardSpec` describes how one logical tensor is laid out across the
+devices of a mesh axis:
+
+* ``REPLICATE`` — every device holds the full tensor (the *R* in SRC).
+* ``SPLIT(axis)`` — the tensor is partitioned evenly along ``axis`` (the *S*).
+* ``PARTIAL`` — every device holds a full-shape tensor that is one summand of
+  the logical value; an AllReduce materialises the true tensor (this is the
+  state the *C* of SRC resolves).
+
+Communication operators (the *C*) are derived from transitions between shard
+specs — see :mod:`repro.core.patterns`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .tensor import TensorSpec
+
+__all__ = ["ShardKind", "ShardSpec", "REPLICATE", "PARTIAL", "split_spec"]
+
+
+class ShardKind(str, Enum):
+    REPLICATE = "replicate"
+    SPLIT = "split"
+    PARTIAL = "partial"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Layout of one tensor over one mesh axis.
+
+    ``axis`` is only meaningful for ``SPLIT``; it is the tensor dimension
+    being partitioned (non-negative, normalised at pattern-application time
+    against the tensor's rank).
+    """
+
+    kind: ShardKind
+    axis: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ShardKind.SPLIT:
+            if self.axis is None or self.axis < 0:
+                raise ValueError("SPLIT requires a non-negative axis")
+        elif self.axis is not None:
+            raise ValueError(f"{self.kind.value} takes no axis")
+
+    @property
+    def is_split(self) -> bool:
+        return self.kind is ShardKind.SPLIT
+
+    @property
+    def is_replicate(self) -> bool:
+        return self.kind is ShardKind.REPLICATE
+
+    @property
+    def is_partial(self) -> bool:
+        return self.kind is ShardKind.PARTIAL
+
+    # ------------------------------------------------------------------
+    def local_spec(self, full: TensorSpec, num_shards: int) -> TensorSpec:
+        """Per-device tensor spec under this layout.
+
+        REPLICATE and PARTIAL both store the full shape locally; SPLIT
+        stores a 1/num_shards slice along ``axis``.
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if self.kind is ShardKind.SPLIT:
+            return full.split(self.axis, num_shards)
+        return full
+
+    def local_bytes(self, full: TensorSpec, num_shards: int) -> int:
+        return self.local_spec(full, num_shards).size_bytes
+
+    def compatible_with(self, full: TensorSpec, num_shards: int) -> bool:
+        """True if this layout is applicable to *full* on *num_shards* devices."""
+        if self.kind is not ShardKind.SPLIT:
+            return True
+        return full.can_split(self.axis, num_shards)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is ShardKind.SPLIT:
+            return f"S({self.axis})"
+        return "R" if self.kind is ShardKind.REPLICATE else "P"
+
+
+#: Shared singletons for the axis-less layouts.
+REPLICATE = ShardSpec(ShardKind.REPLICATE)
+PARTIAL = ShardSpec(ShardKind.PARTIAL)
+
+
+def split_spec(axis: int) -> ShardSpec:
+    """Convenience constructor for ``SPLIT(axis)``."""
+    return ShardSpec(ShardKind.SPLIT, axis)

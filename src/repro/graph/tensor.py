@@ -1,0 +1,156 @@
+"""Tensor metadata used throughout the graph IR.
+
+The planner never materialises tensors; it reasons about *specifications* —
+shape, dtype and the number of bytes a tensor occupies.  Actual numeric
+execution (used to verify mathematical equivalence of sharded plans) lives in
+:mod:`repro.runtime` and consumes these specs to allocate numpy arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+__all__ = ["DType", "TensorSpec", "DTYPE_SIZES"]
+
+
+#: Bytes per element for each supported data type.  These mirror the common
+#: accelerator formats; the paper's experiments use fp32 (TF 1.x default)
+#: with fp16 appearing in the mixed-precision discussion.
+DTYPE_SIZES = {
+    "float64": 8,
+    "float32": 4,
+    "float16": 2,
+    "bfloat16": 2,
+    "int64": 8,
+    "int32": 4,
+    "int8": 1,
+    "bool": 1,
+}
+
+
+class DType:
+    """Namespace of canonical dtype names.
+
+    Using plain strings keeps specs hashable and trivially serialisable; this
+    class only exists so call sites read ``DType.FLOAT32`` instead of a bare
+    literal.
+    """
+
+    FLOAT64 = "float64"
+    FLOAT32 = "float32"
+    FLOAT16 = "float16"
+    BFLOAT16 = "bfloat16"
+    INT64 = "int64"
+    INT32 = "int32"
+    INT8 = "int8"
+    BOOL = "bool"
+
+    @staticmethod
+    def size_of(dtype: str) -> int:
+        """Return bytes per element for *dtype*.
+
+        Raises ``KeyError`` for unknown dtypes — silently guessing a width
+        would corrupt every downstream communication-volume estimate.
+        """
+        return DTYPE_SIZES[dtype]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype description of one tensor flowing along a graph edge.
+
+    ``shape`` uses ``-1`` for a symbolic batch dimension; :meth:`with_batch`
+    binds it.  All size arithmetic treats unbound symbolic dims as 1 so that
+    *relative* comparisons between plans remain meaningful even before the
+    batch size is known.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = DType.FLOAT32
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shape, tuple):
+            object.__setattr__(self, "shape", tuple(self.shape))
+        for dim in self.shape:
+            if dim == 0 or dim < -1:
+                raise ValueError(f"invalid dimension {dim} in shape {self.shape}")
+        if self.dtype not in DTYPE_SIZES:
+            raise ValueError(f"unknown dtype {self.dtype!r}")
+
+    # ------------------------------------------------------------------
+    # size arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Element count with symbolic (-1) dims counted as 1."""
+        return math.prod(d if d > 0 else 1 for d in self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * DTYPE_SIZES[self.dtype]
+
+    @property
+    def has_symbolic_batch(self) -> bool:
+        return any(d == -1 for d in self.shape)
+
+    # ------------------------------------------------------------------
+    # derivation helpers
+    # ------------------------------------------------------------------
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Bind every symbolic (-1) dimension to *batch*."""
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return TensorSpec(
+            tuple(batch if d == -1 else d for d in self.shape),
+            self.dtype,
+            self.name,
+        )
+
+    def split(self, axis: int, parts: int) -> "TensorSpec":
+        """Spec of one shard after an even split of *axis* into *parts*.
+
+        Symbolic dims may be split (the per-shard dim stays symbolic).
+        Uneven splits are rejected: TAP's sharding patterns, like
+        Megatron's, require divisibility so every worker holds an
+        identically-shaped shard.
+        """
+        if not (-self.rank <= axis < self.rank):
+            raise ValueError(f"axis {axis} out of range for rank {self.rank}")
+        axis %= self.rank
+        dim = self.shape[axis]
+        if dim == -1:
+            new_dim = -1
+        else:
+            if dim % parts != 0:
+                raise ValueError(
+                    f"dimension {dim} (axis {axis}) not divisible into {parts} parts"
+                )
+            new_dim = dim // parts
+        return TensorSpec(
+            self.shape[:axis] + (new_dim,) + self.shape[axis + 1 :],
+            self.dtype,
+            self.name,
+        )
+
+    def can_split(self, axis: int, parts: int) -> bool:
+        """True when :meth:`split` would succeed."""
+        if not (-self.rank <= axis < self.rank):
+            return False
+        dim = self.shape[axis % self.rank]
+        return dim == -1 or dim % parts == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join("?" if d == -1 else str(d) for d in self.shape)
+        return f"{self.dtype}[{dims}]"
+
+
+def total_bytes(specs: Iterable[TensorSpec]) -> int:
+    """Sum of byte sizes over an iterable of specs."""
+    return sum(s.size_bytes for s in specs)

@@ -1,0 +1,42 @@
+"""Model zoo: op-level graph builders with framework-style name scopes."""
+
+from .builder import GraphBuilder
+from .transformer import TransformerConfig, build_bert, build_gpt, build_t5
+from .resnet import RESNET50_BLOCKS, RESNET152_BLOCKS, ResNetConfig, build_resnet
+from .vit import ViTConfig, build_vit
+from .moe import MoEConfig, build_m6, build_moe_transformer
+from .clip import CLIPConfig, build_clip
+from .wav2vec import Wav2VecConfig, build_wav2vec
+from .configs import (
+    MODEL_PRESETS,
+    TABLE1_PRESETS,
+    build_preset,
+    resnet_with_classes,
+    t5_with_depth,
+)
+
+__all__ = [
+    "GraphBuilder",
+    "TransformerConfig",
+    "build_t5",
+    "build_bert",
+    "build_gpt",
+    "ResNetConfig",
+    "RESNET50_BLOCKS",
+    "RESNET152_BLOCKS",
+    "build_resnet",
+    "ViTConfig",
+    "build_vit",
+    "MoEConfig",
+    "build_moe_transformer",
+    "build_m6",
+    "CLIPConfig",
+    "build_clip",
+    "Wav2VecConfig",
+    "build_wav2vec",
+    "MODEL_PRESETS",
+    "TABLE1_PRESETS",
+    "build_preset",
+    "t5_with_depth",
+    "resnet_with_classes",
+]

@@ -1,0 +1,84 @@
+"""CLIP-style dual-tower model (vision transformer + text transformer)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, OpType, TensorSpec
+from .builder import GraphBuilder
+from .transformer import TransformerConfig, _transformer_layer
+
+__all__ = ["CLIPConfig", "build_clip"]
+
+
+@dataclass(frozen=True)
+class CLIPConfig:
+    """CLIP-Base shapes: 12-layer towers, shared projection dim."""
+
+    name: str = "clip_base"
+    vision_hidden: int = 768
+    text_hidden: int = 512
+    vision_layers: int = 12
+    text_layers: int = 12
+    num_heads: int = 8
+    patch_size: int = 16
+    image_size: int = 224
+    vocab: int = 49408
+    embed_dim: int = 512
+
+    def tower_config(self, tower: str) -> TransformerConfig:
+        hidden = self.vision_hidden if tower == "vision" else self.text_hidden
+        return TransformerConfig(
+            name=f"{self.name}/{tower}",
+            hidden=hidden,
+            ffn_dim=hidden * 4,
+            num_heads=self.num_heads,
+            encoder_layers=0,
+            decoder_layers=0,
+            vocab=self.vocab,
+            seq_len=77 if tower == "text" else (self.image_size // self.patch_size) ** 2,
+        )
+
+
+def build_clip(cfg: CLIPConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """Two transformer towers meeting in a contrastive head."""
+    cfg = cfg or CLIPConfig()
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        img = b.input("image", (-1, 3))
+        with b.scope("vision"):
+            vcfg = cfg.tower_config("vision")
+            p = cfg.patch_size
+            x = b.emit(
+                "patch_proj",
+                OpType.CONV2D,
+                (img,),
+                TensorSpec((-1, cfg.vision_hidden)),
+                weight=TensorSpec((p, p, 3, cfg.vision_hidden), name="vision/patch"),
+                flops=2 * p * p * 3 * cfg.vision_hidden,
+            )
+            for i in range(cfg.vision_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, vcfg)
+            x = b.layernorm("final_norm", x, cfg.vision_hidden)
+            img_feat = b.dense("proj", x, cfg.vision_hidden, cfg.embed_dim, use_bias=False)
+        ids = b.input("text_ids", (-1,), dtype="int32")
+        with b.scope("text"):
+            tcfg = cfg.tower_config("text")
+            t = b.embedding("embed", ids, cfg.vocab, cfg.text_hidden)
+            for i in range(cfg.text_layers):
+                t = _transformer_layer(b, f"layer_{i}", t, tcfg)
+            t = b.layernorm("final_norm", t, cfg.text_hidden)
+            txt_feat = b.dense("proj", t, cfg.text_hidden, cfg.embed_dim, use_bias=False)
+        with b.scope("head"):
+            sim = b.emit(
+                "similarity",
+                OpType.BATCH_MATMUL,
+                (img_feat, txt_feat),
+                TensorSpec((-1, 1)),
+                flops=2 * cfg.embed_dim,
+            )
+            b.emit(
+                "loss", OpType.CROSS_ENTROPY, (sim,), TensorSpec((1,)), flops=2
+            )
+    b.graph.validate()
+    return b.graph

@@ -1,0 +1,138 @@
+"""Named model presets used by the benchmarks (Table 1 and the sweeps).
+
+Each preset is a zero-argument callable returning a fresh graph.  Presets are
+sized to match the paper's Table 1 entries in architecture shape (layer
+counts and shared-subgraph multiplicities); very large entries (GPT-3,
+Switch-1.6T, V-MoE) keep their layer counts — which drive the
+shared-subgraph census — while using narrower hidden sizes so the zoo stays
+cheap to construct in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..graph import Graph
+from .clip import CLIPConfig, build_clip
+from .moe import MoEConfig, build_m6, build_moe_transformer
+from .resnet import RESNET152_BLOCKS, RESNET50_BLOCKS, ResNetConfig, build_resnet
+from .transformer import TransformerConfig, build_bert, build_gpt, build_t5
+from .vit import ViTConfig, build_vit
+from .wav2vec import Wav2VecConfig, build_wav2vec
+
+__all__ = [
+    "MODEL_PRESETS",
+    "TABLE1_PRESETS",
+    "build_preset",
+    "t5_with_depth",
+    "resnet_with_classes",
+]
+
+
+def t5_with_depth(layers: int, hidden: int = 1024, ffn: int = 4096) -> Graph:
+    """T5 variant for the Fig. 9 depth sweep (layers per stack)."""
+    return build_t5(
+        TransformerConfig(
+            name=f"t5_{layers}l",
+            hidden=hidden,
+            ffn_dim=ffn,
+            num_heads=16,
+            encoder_layers=layers,
+            decoder_layers=layers,
+        )
+    )
+
+
+def resnet_with_classes(num_classes: int, blocks=RESNET50_BLOCKS) -> Graph:
+    """ResNet variant for the Fig. 10 width sweep (classifier width)."""
+    return build_resnet(
+        ResNetConfig(
+            name=f"resnet50_{num_classes}c", blocks=blocks, num_classes=num_classes
+        )
+    )
+
+
+#: Table 1 rows.  Values: (builder, scaling kind, expected shared-subgraph
+#: kinds and multiplicities) — the census benchmark asserts against these.
+TABLE1_PRESETS: Dict[str, dict] = {
+    "resnet50": {
+        "build": lambda: build_resnet(ResNetConfig(name="resnet50", num_classes=1024)),
+        "scaling": "width",
+        "subgraphs": {"conv_block": 16},  # 16 bottlenecks host ResNet-50's 50 convs
+    },
+    "clip_base": {
+        "build": lambda: build_clip(CLIPConfig()),
+        "scaling": "width",
+        "subgraphs": {"transformer": 12},
+    },
+    "widenet": {
+        "build": lambda: build_moe_transformer(
+            MoEConfig(name="widenet", hidden=768, ffn_dim=3072, num_heads=12,
+                      num_layers=32, num_experts=32, moe_every=1)
+        ),
+        "scaling": "width",
+        "subgraphs": {"moe_layer": 32},
+    },
+    "vit_huge": {
+        "build": lambda: build_vit(ViTConfig()),
+        "scaling": "width",
+        "subgraphs": {"transformer": 32},
+    },
+    "v_moe": {
+        "build": lambda: build_moe_transformer(
+            MoEConfig(name="v_moe", hidden=1024, ffn_dim=4096, num_heads=16,
+                      num_layers=24, num_experts=32, moe_every=2)
+        ),
+        "scaling": "width",
+        "subgraphs": {"moe_layer": 12, "transformer": 12},
+    },
+    "wav2vec2": {
+        "build": lambda: build_wav2vec(Wav2VecConfig()),
+        "scaling": "depth",
+        "subgraphs": {"conv_block": 7, "transformer": 24},
+    },
+    "bert_large": {
+        "build": lambda: build_bert(),
+        "scaling": "depth",
+        "subgraphs": {"transformer": 24},
+    },
+    "t5_large": {
+        "build": lambda: build_t5(),
+        "scaling": "depth",
+        "subgraphs": {"transformer": 24},
+    },
+    "gpt3_like": {
+        "build": lambda: build_gpt(
+            TransformerConfig(name="gpt3_like", hidden=1024, ffn_dim=4096,
+                              num_heads=16, encoder_layers=0, decoder_layers=96,
+                              vocab=50257, seq_len=2048)
+        ),
+        "scaling": "depth",
+        "subgraphs": {"transformer": 96},
+    },
+    "switch_like": {
+        "build": lambda: build_moe_transformer(
+            MoEConfig(name="switch_like", hidden=768, ffn_dim=3072, num_heads=12,
+                      num_layers=30, num_experts=64, moe_every=2)
+        ),
+        "scaling": "depth",
+        "subgraphs": {"moe_layer": 15},
+    },
+}
+
+#: All presets, including the convergence-study models.
+MODEL_PRESETS: Dict[str, Callable[[], Graph]] = {
+    **{name: row["build"] for name, row in TABLE1_PRESETS.items()},
+    "m6_moe_100b": lambda: build_m6("100B"),
+    "m6_moe_1t": lambda: build_m6("1T"),
+}
+
+
+def build_preset(name: str) -> Graph:
+    """Build a named preset; raises ``KeyError`` with options on miss."""
+    try:
+        return MODEL_PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(MODEL_PRESETS)}"
+        ) from None

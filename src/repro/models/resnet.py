@@ -1,0 +1,137 @@
+"""ResNet builders, including the paper's wide-classification variant.
+
+The motivating example (paper §3.3, Fig. 3a) is an e-commerce classifier: a
+ResNet-50 feature extractor (~24M parameters) followed by a fully connected
+classification layer whose width scales with the number of merchandise
+classes — at 100K classes the FC layer alone holds ~205M parameters and
+dominates the model.
+
+Convolutions keep spatial dims folded into the symbolic batch; weight shapes
+``(kh, kw, cin, cout)`` and channel counts — the quantities tensor-parallel
+planning shards — are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..graph import Graph, OpType, TensorSpec
+from .builder import GraphBuilder
+
+__all__ = ["ResNetConfig", "build_resnet", "RESNET50_BLOCKS", "RESNET152_BLOCKS"]
+
+RESNET50_BLOCKS: Tuple[int, ...] = (3, 4, 6, 3)
+RESNET152_BLOCKS: Tuple[int, ...] = (3, 8, 36, 3)
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """ResNet hyperparameters; ``num_classes`` is the width-scaling knob."""
+
+    name: str = "resnet50"
+    blocks: Tuple[int, ...] = RESNET50_BLOCKS
+    base_channels: int = 64
+    num_classes: int = 1024
+    image_size: int = 224
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("blocks must be non-empty")
+        if self.num_classes <= 0 or self.base_channels <= 0:
+            raise ValueError("num_classes and base_channels must be positive")
+
+    @property
+    def feature_dim(self) -> int:
+        """Channel width entering the classifier (2048 for ResNet-50)."""
+        return self.base_channels * 8 * 4
+
+
+def _conv(
+    b: GraphBuilder,
+    name: str,
+    x: str,
+    cin: int,
+    cout: int,
+    kernel: int,
+    spatial: int,
+    batchnorm: bool = True,
+    activation: bool = True,
+) -> str:
+    """Conv + (folded) batchnorm + relu; spatial extent drives FLOPs."""
+    with b.scope(name):
+        out = TensorSpec((-1, cout))
+        y = b.emit(
+            "conv2d",
+            OpType.CONV2D,
+            (x,),
+            out,
+            weight=TensorSpec((kernel, kernel, cin, cout), name=f"{name}/kernel"),
+            flops=2 * kernel * kernel * cin * cout * spatial * spatial,
+        )
+        if batchnorm:
+            y = b.emit(
+                "bn",
+                OpType.LAYERNORM,
+                (y,),
+                out,
+                weight=TensorSpec((2, cout), name=f"{name}/bn"),
+                flops=8 * cout,
+            )
+        if activation:
+            y = b.emit("relu", OpType.RELU, (y,), out, flops=cout)
+    return y
+
+
+def _bottleneck(
+    b: GraphBuilder, name: str, x: str, cin: int, cmid: int, spatial: int
+) -> str:
+    """Standard 1-3-1 bottleneck with projection shortcut when widening."""
+    cout = cmid * 4
+    with b.scope(name):
+        y = _conv(b, "conv_a", x, cin, cmid, 1, spatial)
+        y = _conv(b, "conv_b", y, cmid, cmid, 3, spatial)
+        y = _conv(b, "conv_c", y, cmid, cout, 1, spatial, activation=False)
+        if cin != cout:
+            x = _conv(b, "shortcut", x, cin, cout, 1, spatial, activation=False)
+        y = b.emit(
+            "residual", OpType.ADD, (x, y), TensorSpec((-1, cout)), flops=cout
+        )
+        y = b.emit("relu_out", OpType.RELU, (y,), TensorSpec((-1, cout)), flops=cout)
+    return y
+
+
+def build_resnet(cfg: ResNetConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """Build a ResNet graph; scale ``cfg.num_classes`` for the wide variant."""
+    cfg = cfg or ResNetConfig()
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        x = b.input("image", (-1, 3))
+        spatial = cfg.image_size // 4
+        with b.scope("stem"):
+            x = _conv(b, "conv1", x, 3, cfg.base_channels, 7, cfg.image_size // 2)
+            x = b.emit(
+                "maxpool", OpType.POOL, (x,), TensorSpec((-1, cfg.base_channels))
+            )
+        cin = cfg.base_channels
+        for stage_idx, num_blocks in enumerate(cfg.blocks):
+            cmid = cfg.base_channels * (2 ** stage_idx)
+            with b.scope(f"stage_{stage_idx}"):
+                for blk in range(num_blocks):
+                    x = _bottleneck(b, f"block_{blk}", x, cin, cmid, spatial)
+                    cin = cmid * 4
+            spatial = max(spatial // 2, 1)
+        with b.scope("head"):
+            x = b.emit(
+                "global_pool", OpType.REDUCE_MEAN, (x,), TensorSpec((-1, cin))
+            )
+            logits = b.dense("fc", x, cin, cfg.num_classes, use_bias=True)
+            b.emit(
+                "loss",
+                OpType.CROSS_ENTROPY,
+                (logits,),
+                TensorSpec((1,)),
+                flops=cfg.num_classes,
+            )
+    b.graph.validate()
+    return b.graph

@@ -1,0 +1,199 @@
+"""Dense transformer model builders: T5 (encoder-decoder), BERT, GPT.
+
+The emitted graphs mirror the structure TAP consumes from TensorFlow:
+scoped names (``t5/encoder/layer_7/mha/q/matmul``), one repeated layer block
+per depth level, per-variable auxiliary ops, and attention expressed with the
+small reshape/transpose/dropout ops real traced graphs contain.
+
+Sequence and batch dims are folded into one symbolic ``-1`` token dimension;
+tensor-parallel planning only needs the weight shapes and the hidden sizes of
+activations, both of which are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, OpType, TensorSpec
+from .builder import GraphBuilder
+
+__all__ = ["TransformerConfig", "build_t5", "build_bert", "build_gpt"]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyperparameters of a dense transformer stack."""
+
+    name: str = "t5"
+    hidden: int = 1024
+    ffn_dim: int = 4096
+    num_heads: int = 16
+    encoder_layers: int = 24
+    decoder_layers: int = 24
+    vocab: int = 32128
+    seq_len: int = 512
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+        for f in ("hidden", "ffn_dim", "num_heads", "vocab", "seq_len"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+
+def _attention(
+    b: GraphBuilder, name: str, x: str, cfg: TransformerConfig, kv: str | None = None
+) -> str:
+    """Multi-head attention block (self- or cross-attention).
+
+    Includes the projection matmuls TAP shards plus the reshape/transpose/
+    softmax/dropout small ops that populate real traced graphs.
+    """
+    h, seq = cfg.hidden, cfg.seq_len
+    kv = kv if kv is not None else x
+    with b.scope(name):
+        q = b.dense("q", x, h, h, use_bias=False)
+        k = b.dense("k", kv, h, h, use_bias=False)
+        v = b.dense("v", kv, h, h, use_bias=False)
+        qh = b.emit("reshape_q", OpType.RESHAPE, (q,), TensorSpec((-1, h)))
+        kh = b.emit("reshape_k", OpType.RESHAPE, (k,), TensorSpec((-1, h)))
+        vh = b.emit("reshape_v", OpType.RESHAPE, (v,), TensorSpec((-1, h)))
+        kt = b.emit("transpose_k", OpType.TRANSPOSE, (kh,), TensorSpec((h, -1)))
+        scores = b.emit(
+            "scores",
+            OpType.BATCH_MATMUL,
+            (qh, kt),
+            TensorSpec((-1, seq)),
+            flops=2 * h * seq,
+        )
+        probs = b.emit(
+            "softmax", OpType.SOFTMAX, (scores,), TensorSpec((-1, seq)), flops=5 * seq
+        )
+        probs = b.emit("attn_dropout", OpType.DROPOUT, (probs,), TensorSpec((-1, seq)))
+        ctx = b.emit(
+            "context",
+            OpType.BATCH_MATMUL,
+            (probs, vh),
+            TensorSpec((-1, h)),
+            flops=2 * h * seq,
+        )
+        ctx = b.emit("reshape_ctx", OpType.RESHAPE, (ctx,), TensorSpec((-1, h)))
+        out = b.dense("o", ctx, h, h, use_bias=False)
+    return out
+
+
+def _ffn(b: GraphBuilder, name: str, x: str, cfg: TransformerConfig) -> str:
+    """Two-matmul MLP: *intermediate* then *output* (paper §3.3 naming)."""
+    with b.scope(name):
+        inter = b.dense("intermediate", x, cfg.hidden, cfg.ffn_dim, activation=OpType.GELU)
+        out = b.dense("output", inter, cfg.ffn_dim, cfg.hidden)
+    return out
+
+
+def _transformer_layer(
+    b: GraphBuilder,
+    name: str,
+    x: str,
+    cfg: TransformerConfig,
+    cross_from: str | None = None,
+) -> str:
+    """Pre-norm transformer layer; optional cross-attention for decoders."""
+    h = cfg.hidden
+    with b.scope(name):
+        normed = b.layernorm("mha_norm", x, h)
+        attn = _attention(b, "mha", normed, cfg)
+        x = b.residual_add("mha_residual", x, attn, h)
+        if cross_from is not None:
+            normed = b.layernorm("cross_norm", x, h)
+            cross = _attention(b, "cross_mha", normed, cfg, kv=cross_from)
+            x = b.residual_add("cross_residual", x, cross, h)
+        normed = b.layernorm("ffn_norm", x, h)
+        ffn = _ffn(b, "ffn", normed, cfg)
+        x = b.residual_add("ffn_residual", x, ffn, h)
+    return x
+
+
+def build_t5(cfg: TransformerConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """T5-style encoder-decoder language model.
+
+    Defaults approximate T5-large: 24+24 layers, hidden 1024, FFN 4096
+    (~700M parameters with tied embeddings).
+    """
+    cfg = cfg or TransformerConfig()
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        ids = b.input("input_ids", (-1,), dtype="int32")
+        with b.scope("encoder"):
+            x = b.embedding("embed", ids, cfg.vocab, cfg.hidden)
+            for i in range(cfg.encoder_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, cfg)
+            enc_out = b.layernorm("final_norm", x, cfg.hidden)
+        dec_ids = b.input("decoder_ids", (-1,), dtype="int32")
+        with b.scope("decoder"):
+            y = b.embedding("embed", dec_ids, cfg.vocab, cfg.hidden)
+            for i in range(cfg.decoder_layers):
+                y = _transformer_layer(b, f"layer_{i}", y, cfg, cross_from=enc_out)
+            y = b.layernorm("final_norm", y, cfg.hidden)
+        with b.scope("head"):
+            logits = b.dense("lm_logits", y, cfg.hidden, cfg.vocab, use_bias=False)
+            b.emit(
+                "loss",
+                OpType.CROSS_ENTROPY,
+                (logits,),
+                TensorSpec((1,)),
+                flops=cfg.vocab,
+            )
+    b.graph.validate()
+    return b.graph
+
+
+def build_bert(cfg: TransformerConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """BERT-style encoder-only model (defaults ≈ BERT-large, 24 layers)."""
+    cfg = cfg or TransformerConfig(
+        name="bert", hidden=1024, ffn_dim=4096, num_heads=16,
+        encoder_layers=24, decoder_layers=0, vocab=30522,
+    )
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        ids = b.input("input_ids", (-1,), dtype="int32")
+        with b.scope("encoder"):
+            x = b.embedding("embed", ids, cfg.vocab, cfg.hidden)
+            for i in range(cfg.encoder_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, cfg)
+            x = b.layernorm("final_norm", x, cfg.hidden)
+        with b.scope("head"):
+            pooled = b.dense("pooler", x, cfg.hidden, cfg.hidden, activation=OpType.GELU)
+            logits = b.dense("mlm_logits", pooled, cfg.hidden, cfg.vocab, use_bias=False)
+            b.emit(
+                "loss", OpType.CROSS_ENTROPY, (logits,), TensorSpec((1,)), flops=cfg.vocab
+            )
+    b.graph.validate()
+    return b.graph
+
+
+def build_gpt(cfg: TransformerConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """GPT-style decoder-only model (defaults ≈ GPT-2 large scale)."""
+    cfg = cfg or TransformerConfig(
+        name="gpt", hidden=1280, ffn_dim=5120, num_heads=20,
+        encoder_layers=0, decoder_layers=36, vocab=50257, seq_len=1024,
+    )
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        ids = b.input("input_ids", (-1,), dtype="int32")
+        with b.scope("decoder"):
+            x = b.embedding("embed", ids, cfg.vocab, cfg.hidden)
+            for i in range(cfg.decoder_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, cfg)
+            x = b.layernorm("final_norm", x, cfg.hidden)
+        with b.scope("head"):
+            logits = b.dense("lm_logits", x, cfg.hidden, cfg.vocab, use_bias=False)
+            b.emit(
+                "loss", OpType.CROSS_ENTROPY, (logits,), TensorSpec((1,)), flops=cfg.vocab
+            )
+    b.graph.validate()
+    return b.graph

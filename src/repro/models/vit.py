@@ -1,0 +1,92 @@
+"""Vision Transformer builder (ViT-Base/Large/Huge shapes, Table 1 rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, OpType, TensorSpec
+from .builder import GraphBuilder
+from .transformer import TransformerConfig, _transformer_layer
+
+__all__ = ["ViTConfig", "build_vit"]
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """ViT hyperparameters (defaults ≈ ViT-Huge: 32 layers, hidden 1280)."""
+
+    name: str = "vit_huge"
+    hidden: int = 1280
+    ffn_dim: int = 5120
+    num_heads: int = 16
+    num_layers: int = 32
+    patch_size: int = 14
+    image_size: int = 224
+    num_classes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size != 0:
+            raise ValueError("image_size must be divisible by patch_size")
+        if self.hidden % self.num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    def transformer_config(self) -> TransformerConfig:
+        return TransformerConfig(
+            name=self.name,
+            hidden=self.hidden,
+            ffn_dim=self.ffn_dim,
+            num_heads=self.num_heads,
+            encoder_layers=self.num_layers,
+            decoder_layers=0,
+            vocab=1,
+            seq_len=self.num_patches + 1,
+        )
+
+
+def build_vit(cfg: ViTConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    """Patch-embedding conv followed by a transformer encoder and class head."""
+    cfg = cfg or ViTConfig()
+    tcfg = cfg.transformer_config()
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        img = b.input("image", (-1, 3))
+        with b.scope("patch_embed"):
+            p = cfg.patch_size
+            x = b.emit(
+                "proj",
+                OpType.CONV2D,
+                (img,),
+                TensorSpec((-1, cfg.hidden)),
+                weight=TensorSpec((p, p, 3, cfg.hidden), name="patch_embed/kernel"),
+                flops=2 * p * p * 3 * cfg.hidden * cfg.num_patches,
+            )
+            x = b.emit(
+                "pos_add",
+                OpType.ADD,
+                (x,),
+                TensorSpec((-1, cfg.hidden)),
+                weight=TensorSpec((cfg.num_patches + 1, cfg.hidden), name="pos_embed"),
+                flops=cfg.hidden,
+            )
+        with b.scope("encoder"):
+            for i in range(cfg.num_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, tcfg)
+            x = b.layernorm("final_norm", x, cfg.hidden)
+        with b.scope("head"):
+            pooled = b.emit(
+                "cls_pool", OpType.REDUCE_MEAN, (x,), TensorSpec((-1, cfg.hidden))
+            )
+            logits = b.dense("classifier", pooled, cfg.hidden, cfg.num_classes)
+            b.emit(
+                "loss",
+                OpType.CROSS_ENTROPY,
+                (logits,),
+                TensorSpec((1,)),
+                flops=cfg.num_classes,
+            )
+    b.graph.validate()
+    return b.graph

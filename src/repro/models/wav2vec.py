@@ -1,0 +1,88 @@
+"""wav2vec 2.0-style speech model: conv feature extractor + transformer.
+
+Table 1 lists wav2vec 2.0 with two shared-subgraph families — 7 conv layers
+and 24 transformer layers — making it the zoo's test case for *multiple*
+distinct shared subgraphs in one model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..graph import Graph, OpType, TensorSpec
+from .builder import GraphBuilder
+from .transformer import TransformerConfig, _transformer_layer
+
+__all__ = ["Wav2VecConfig", "build_wav2vec"]
+
+
+@dataclass(frozen=True)
+class Wav2VecConfig:
+    """wav2vec 2.0 Large shapes: 7 conv blocks + 24 transformer layers."""
+
+    name: str = "wav2vec2"
+    conv_channels: Tuple[int, ...] = (512, 512, 512, 512, 512, 512, 512)
+    conv_kernels: Tuple[int, ...] = (10, 3, 3, 3, 3, 2, 2)
+    hidden: int = 1024
+    ffn_dim: int = 4096
+    num_heads: int = 16
+    num_layers: int = 24
+
+    def __post_init__(self) -> None:
+        if len(self.conv_channels) != len(self.conv_kernels):
+            raise ValueError("conv_channels and conv_kernels must align")
+
+    def transformer_config(self) -> TransformerConfig:
+        return TransformerConfig(
+            name=self.name,
+            hidden=self.hidden,
+            ffn_dim=self.ffn_dim,
+            num_heads=self.num_heads,
+            encoder_layers=self.num_layers,
+            decoder_layers=0,
+            vocab=1,
+            seq_len=499,
+        )
+
+
+def build_wav2vec(cfg: Wav2VecConfig | None = None, emit_auxiliary: bool = True) -> Graph:
+    cfg = cfg or Wav2VecConfig()
+    tcfg = cfg.transformer_config()
+    b = GraphBuilder(cfg.name, emit_auxiliary=emit_auxiliary)
+    with b.scope(cfg.name):
+        wav = b.input("waveform", (-1, 1))
+        x = wav
+        cin = 1
+        with b.scope("feature_extractor"):
+            for i, (cout, k) in enumerate(zip(cfg.conv_channels, cfg.conv_kernels)):
+                with b.scope(f"conv_{i}"):
+                    y = b.emit(
+                        "conv1d",
+                        OpType.CONV2D,
+                        (x,),
+                        TensorSpec((-1, cout)),
+                        weight=TensorSpec((k, 1, cin, cout), name=f"conv_{i}/kernel"),
+                        flops=2 * k * cin * cout,
+                    )
+                    y = b.emit(
+                        "ln",
+                        OpType.LAYERNORM,
+                        (y,),
+                        TensorSpec((-1, cout)),
+                        weight=TensorSpec((2, cout), name=f"conv_{i}/ln"),
+                        flops=8 * cout,
+                    )
+                    x = b.emit("gelu", OpType.GELU, (y,), TensorSpec((-1, cout)), flops=cout)
+                cin = cout
+        with b.scope("projection"):
+            x = b.dense("proj", x, cin, cfg.hidden)
+        with b.scope("encoder"):
+            for i in range(cfg.num_layers):
+                x = _transformer_layer(b, f"layer_{i}", x, tcfg)
+            x = b.layernorm("final_norm", x, cfg.hidden)
+        with b.scope("head"):
+            logits = b.dense("ctc", x, cfg.hidden, 32, use_bias=True)
+            b.emit("loss", OpType.CROSS_ENTROPY, (logits,), TensorSpec((1,)), flops=32)
+    b.graph.validate()
+    return b.graph

@@ -1,0 +1,22 @@
+"""Optional graph passes from the paper's §4.8 (limitations & future work).
+
+TAP composes with orthogonal memory/throughput optimisations that also
+operate on the graph representation: automatic mixed precision, activation
+recomputation (gradient checkpointing), and pipeline parallelism.  Each is
+implemented as a standalone pass over the same IR the planner consumes.
+"""
+
+from .amp import AMPConfig, AMPReport, apply_amp
+from .recompute import RecomputePolicy, select_recompute_scopes
+from .pipeline import HybridPipelinePlan, HybridStage, pipeline_with_tap
+
+__all__ = [
+    "AMPConfig",
+    "AMPReport",
+    "apply_amp",
+    "RecomputePolicy",
+    "select_recompute_scopes",
+    "HybridPipelinePlan",
+    "HybridStage",
+    "pipeline_with_tap",
+]

@@ -1,0 +1,118 @@
+"""Automatic Mixed Precision as a graph pass (§4.8).
+
+The paper notes TAP and AMP both operate on the graph representation and
+can be composed as separate passes.  This pass rewrites a (possibly
+already parallelised) op graph to half precision:
+
+* compute ops cast activations and weights to ``fp16`` (or ``bf16``);
+* numerically sensitive ops — softmax, layernorm, the loss — stay ``fp32``
+  (the standard allow/deny-list recipe of NVIDIA AMP [1]);
+* weights keep an ``fp32`` *master copy* for the optimiser, tracked in
+  the report so the memory model can price it.
+
+Because every byte count downstream (cost model, simulator, memory) is
+derived from ``TensorSpec.dtype``, the pass automatically halves
+communication volumes and activation memory — which is exactly the
+composition the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..graph import DType, Graph, Operator, OpType, TensorSpec
+
+__all__ = ["AMPConfig", "AMPReport", "apply_amp"]
+
+#: Ops that must keep full precision (reductions over many values).
+FP32_OPS = frozenset(
+    {OpType.SOFTMAX, OpType.LAYERNORM, OpType.CROSS_ENTROPY, OpType.REDUCE_MEAN}
+)
+
+
+@dataclass(frozen=True)
+class AMPConfig:
+    """AMP knobs: target half dtype and whether masters are kept."""
+
+    half_dtype: str = DType.FLOAT16
+    keep_master_weights: bool = True
+    #: extra op types forced to fp32 (model-specific deny list)
+    extra_fp32_ops: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.half_dtype not in (DType.FLOAT16, DType.BFLOAT16):
+            raise ValueError(f"half_dtype must be fp16/bf16, got {self.half_dtype}")
+
+
+@dataclass
+class AMPReport:
+    """What the pass changed."""
+
+    graph: Graph
+    ops_converted: int = 0
+    ops_kept_fp32: int = 0
+    #: bytes of fp32 master copies per device (weights kept alongside)
+    master_weight_bytes: int = 0
+    activation_bytes_before: int = 0
+    activation_bytes_after: int = 0
+
+    @property
+    def activation_savings(self) -> float:
+        if self.activation_bytes_before == 0:
+            return 0.0
+        return 1.0 - self.activation_bytes_after / self.activation_bytes_before
+
+
+def _cast_spec(spec: Optional[TensorSpec], dtype: str) -> Optional[TensorSpec]:
+    if spec is None or spec.dtype not in (DType.FLOAT32, DType.FLOAT64):
+        return spec  # integer ids etc. stay as they are
+    return TensorSpec(spec.shape, dtype, spec.name)
+
+
+def apply_amp(graph: Graph, config: AMPConfig | None = None) -> AMPReport:
+    """Rewrite *graph* to mixed precision; returns the new graph + report."""
+    config = config or AMPConfig()
+    fp32_ops: Set[str] = set(FP32_OPS) | set(config.extra_fp32_ops)
+
+    out = Graph(name=f"{graph.name}@amp")
+    report = AMPReport(graph=out)
+
+    for op in graph:
+        keep_fp32 = op.op_type in fp32_ops or op.is_auxiliary
+        dtype = DType.FLOAT32 if keep_fp32 else config.half_dtype
+        new_output = _cast_spec(op.output, dtype)
+        new_weight = _cast_spec(op.weight, dtype) if not keep_fp32 else op.weight
+
+        if op.output is not None and op.output.dtype == DType.FLOAT32:
+            report.activation_bytes_before += op.output.size_bytes
+            report.activation_bytes_after += (
+                new_output.size_bytes if new_output else 0
+            )
+        if keep_fp32 and not op.is_auxiliary:
+            report.ops_kept_fp32 += 1
+        elif not op.is_auxiliary:
+            report.ops_converted += 1
+        if (
+            config.keep_master_weights
+            and op.weight is not None
+            and new_weight is not None
+            and new_weight.dtype != op.weight.dtype
+            and op.trainable
+        ):
+            report.master_weight_bytes += op.weight.size_bytes
+
+        out.add(
+            Operator(
+                name=op.name,
+                op_type=op.op_type,
+                inputs=op.inputs,
+                output=new_output,
+                weight=new_weight,
+                trainable=op.trainable,
+                flops=op.flops,
+                attrs=dict(op.attrs),
+            )
+        )
+    out.validate()
+    return report

@@ -1,0 +1,81 @@
+"""Activation recomputation / gradient checkpointing (§4.8).
+
+The paper suggests gradient checkpointing to offload selected GraphNodes.
+This pass selects which nodes checkpoint (keep their output) and which
+recompute during the backward pass (drop their stored activations), using
+the classic sqrt-N segment policy over the repeated layer blocks.
+
+The policy integrates with the rest of the system through two optional
+hooks:
+
+* :meth:`RecomputePolicy.activation_multiplier` — the memory model drops
+  activations of recomputed nodes;
+* :meth:`RecomputePolicy.backward_compute_multiplier` — the simulator adds
+  one extra forward pass for each recomputed segment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..core.graphnode import NodeGraph
+from ..core.pruning import PruneResult, prune_graph
+
+__all__ = ["RecomputePolicy", "select_recompute_scopes"]
+
+
+@dataclass
+class RecomputePolicy:
+    """Which GraphNodes recompute instead of storing activations."""
+
+    recompute_nodes: Set[str] = field(default_factory=set)
+    checkpoint_nodes: Set[str] = field(default_factory=set)
+    #: forward FLOPs of recomputed nodes as a fraction of total forward FLOPs
+    recompute_flops_fraction: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.recompute_nodes)
+
+    def stores_activation(self, node_name: str) -> bool:
+        """False when this node's output is rematerialised in backward."""
+        return node_name not in self.recompute_nodes
+
+    def backward_compute_multiplier(self) -> float:
+        """Backward compute grows by the recomputed forward fraction."""
+        return 1.0 + self.recompute_flops_fraction / 2.0
+
+
+def select_recompute_scopes(
+    node_graph: NodeGraph,
+    min_duplicate: int = 2,
+    keep_every: int = 0,
+) -> RecomputePolicy:
+    """sqrt-N checkpointing over the shared-subgraph families.
+
+    Each repeated family (the transformer/conv layer stacks) is segmented:
+    one instance in every ``ceil(sqrt(multiplicity))`` keeps its
+    activations (a checkpoint); the rest recompute.  ``keep_every``
+    overrides the segment length when positive.  Unique nodes always store
+    — they are few and often feed many consumers.
+    """
+    prune = prune_graph(node_graph, min_duplicate=min_duplicate)
+    policy = RecomputePolicy()
+    total_flops = sum(n.flops for n in node_graph) or 1
+
+    for family in prune.families:
+        m = family.multiplicity
+        segment = keep_every if keep_every > 0 else max(int(math.isqrt(m)), 1)
+        for idx, members in enumerate(family.member_nodes):
+            if idx % segment == 0:
+                policy.checkpoint_nodes.update(members)
+            else:
+                policy.recompute_nodes.update(members)
+
+    recompute_flops = sum(
+        node_graph.node(n).flops for n in policy.recompute_nodes
+    )
+    policy.recompute_flops_fraction = recompute_flops / total_flops
+    return policy

@@ -1,0 +1,33 @@
+"""Simulated multi-device numeric runtime: collectives + SPMD executor."""
+
+from .comm import (
+    TrafficMeter,
+    all_gather,
+    all_reduce,
+    broadcast,
+    gather_features,
+    gather_tokens,
+    reduce_scatter,
+    slice_features,
+    slice_tokens,
+)
+from .executor import EquivalenceReport, ExecutionError, ShardedExecutor, SUPPORTED_OPS
+from .backward import GradientChecker, GradientReport
+
+__all__ = [
+    "TrafficMeter",
+    "all_gather",
+    "all_reduce",
+    "broadcast",
+    "gather_features",
+    "gather_tokens",
+    "reduce_scatter",
+    "slice_features",
+    "slice_tokens",
+    "EquivalenceReport",
+    "ExecutionError",
+    "ShardedExecutor",
+    "SUPPORTED_OPS",
+    "GradientChecker",
+    "GradientReport",
+]

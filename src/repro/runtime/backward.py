@@ -1,0 +1,442 @@
+"""Numeric backward pass: verify gradients under sharding.
+
+The forward executor proves ``p(X) = G(X)``; this module proves the other
+half of a training step — that the *gradients* a sharded plan computes
+(including the backward-mirror collectives of
+:mod:`repro.core.patterns` and the data-parallel gradient all-reduce)
+equal the dense reference gradients.
+
+Scope matches the forward executor: dense 2-D ``(tokens, features)``
+chains of matmul / bias / gelu / relu / layernorm / residual / dropout /
+reshape, with a scalar sum-loss appended.  Reverse-mode differentiation is
+hand-written per op (no autograd dependency), so each collective's
+backward role is exercised explicitly:
+
+* replicated (D) sections backprop on their token slice; weight grads are
+  summed across devices — the ``all``-axis gradient all-reduce;
+* a forward token all_gather (D→R) reduce-scatters the incoming gradient;
+* a forward free slice (R→S / R→D) all_gathers gradients;
+* a forward all_reduce (P→R) passes gradients through;
+* column-parallel matmuls all-reduce dX (the Megatron f operator);
+* split weights accumulate *shard* gradients that must equal the
+  corresponding slice of the dense gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import Graph, OpType
+from ..core.graphnode import NodeGraph
+from ..core.patterns import Layout
+from ..core.plan import RoutedPlan
+from . import comm
+from .comm import TrafficMeter
+from .executor import ExecutionError, ShardedExecutor, _gelu, _layernorm
+
+__all__ = ["GradientReport", "GradientChecker"]
+
+
+@dataclass
+class GradientReport:
+    """Outcome of a sharded-vs-reference gradient comparison."""
+
+    max_weight_grad_error: float
+    max_input_grad_error: float
+    weights_checked: int
+    equivalent: bool
+    traffic: TrafficMeter
+
+
+def _gelu_grad(x: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2 / np.pi)
+    t = np.tanh(c * (x + 0.044715 * x**3))
+    dt = (1 - t**2) * c * (1 + 3 * 0.044715 * x**2)
+    return 0.5 * (1 + t) + 0.5 * x * dt
+
+
+def _layernorm_grads(
+    x: np.ndarray, w: np.ndarray, gy: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(dX, dW) for y = (x - mean)/std * w[0] + w[1]."""
+    eps = 1e-5
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean) * inv
+    n = x.shape[-1]
+    g_scaled = gy * w[0]
+    dx = inv * (
+        g_scaled
+        - g_scaled.mean(axis=-1, keepdims=True)
+        - xhat * (g_scaled * xhat).mean(axis=-1, keepdims=True)
+    )
+    dw = np.stack([(gy * xhat).sum(axis=0), gy.sum(axis=0)], axis=0)
+    return dx, dw
+
+
+class GradientChecker:
+    """Runs dense and sharded backward passes and compares gradients."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        node_graph: NodeGraph,
+        routed: RoutedPlan,
+        seed: int = 0,
+    ) -> None:
+        self.ex = ShardedExecutor(graph, node_graph, routed, seed=seed)
+        self.graph = graph
+        self.routed = routed
+        self.tp = routed.tp_degree
+
+    # ------------------------------------------------------------------
+    # dense reference backward
+    # ------------------------------------------------------------------
+    def reference_grads(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """(weight grads, input grads) of sum(leaf outputs) on one device."""
+        values: Dict[str, np.ndarray] = {}
+        order = self.graph.topo_order()
+        for name in order:
+            op = self.graph.op(name)
+            if op.is_auxiliary:
+                continue
+            if op.op_type == OpType.INPUT:
+                values[name] = np.asarray(inputs[name], dtype=np.float64)
+                continue
+            args = [values[i] for i in op.inputs]
+            values[name] = self.ex._apply(op, args, self.ex.weights.get(name), 1)
+
+        grads: Dict[str, np.ndarray] = {}
+        wgrads: Dict[str, np.ndarray] = {}
+        for leaf in self.graph.leaves():
+            if leaf.name in values:
+                grads[leaf.name] = np.ones_like(values[leaf.name])
+        for name in reversed(order):
+            op = self.graph.op(name)
+            if op.is_auxiliary or name not in grads:
+                continue
+            if op.op_type == OpType.INPUT:
+                continue  # its gradient stays in `grads` for the report
+            gy = grads.pop(name)
+            arg_grads, wgrad = self._op_backward(
+                op, [values[i] for i in op.inputs], self.ex.weights.get(name), gy
+            )
+            if wgrad is not None:
+                wgrads[name] = wgrads.get(name, 0) + wgrad
+            for src, g in zip(op.inputs, arg_grads):
+                if g is None:
+                    continue
+                grads[src] = grads.get(src, 0) + g
+        input_grads = {k: grads[k] for k in inputs if k in grads}
+        return wgrads, input_grads
+
+    # ------------------------------------------------------------------
+    # sharded backward
+    # ------------------------------------------------------------------
+    def sharded_grads(
+        self, inputs: Dict[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], TrafficMeter]:
+        """Backward pass across the simulated TP group.
+
+        Returns reassembled *logical* weight gradients (shard gradients
+        concatenated back, replicated gradients summed across devices —
+        the numeric realisation of the ``all``/``dp`` gradient
+        all-reduce) and input gradients.
+        """
+        tp = self.tp
+        meter = TrafficMeter()
+        local_w = self.ex._shard_weights()
+
+        # ---- forward, remembering per-device intermediate values ------
+        values: Dict[str, List[np.ndarray]] = {}
+        for name in self.graph.topo_order():
+            op = self.graph.op(name)
+            if op.is_auxiliary:
+                continue
+            node_name = self.ex._op_to_node[name]
+            shard = self.routed.shards[node_name]
+            if op.op_type == OpType.INPUT:
+                values[name] = comm.slice_tokens(
+                    np.asarray(inputs[name], dtype=np.float64), tp
+                )
+                continue
+            args = []
+            for src in op.inputs:
+                src_node = self.ex._op_to_node[src]
+                if src_node == node_name:
+                    args.append(values[src])
+                else:
+                    args.append(
+                        self.ex._convert(
+                            values[src],
+                            self.routed.shards[src_node].output_layout,
+                            shard.input_layout,
+                            meter,
+                        )
+                    )
+            values[name] = [
+                self.ex._apply(
+                    op,
+                    [a[d] for a in args],
+                    local_w.get(name, [None] * tp)[d],
+                    shards=tp if shard.pattern != "replicate" else 1,
+                    partial_output=(shard.output_layout == Layout.P),
+                )
+                for d in range(tp)
+            ]
+
+        # ---- backward over per-device values ---------------------------
+        # Gradients flow in the layout of the tensor they differentiate;
+        # conversions apply the BACKWARD_MIRROR collectives numerically.
+        grads: Dict[str, List[np.ndarray]] = {}
+        wgrads_local: Dict[str, List[np.ndarray]] = {}
+        for leaf in self.graph.leaves():
+            if leaf.name in values:
+                grads[leaf.name] = [np.ones_like(v) for v in values[leaf.name]]
+
+        order = self.graph.topo_order()
+        for name in reversed(order):
+            op = self.graph.op(name)
+            if op.is_auxiliary or name not in grads:
+                continue
+            if op.op_type == OpType.INPUT:
+                continue
+            node_name = self.ex._op_to_node[name]
+            shard = self.routed.shards[node_name]
+            gys = grads.pop(name)
+
+            # reconstruct this op's (converted) forward arguments
+            conv_args: List[List[np.ndarray]] = []
+            src_layouts: List[str] = []
+            for src in op.inputs:
+                src_node = self.ex._op_to_node[src]
+                if src_node == node_name:
+                    conv_args.append(values[src])
+                    src_layouts.append("local")
+                else:
+                    conv_args.append(
+                        self.ex._convert(
+                            values[src],
+                            self.routed.shards[src_node].output_layout,
+                            shard.input_layout,
+                            meter,
+                        )
+                    )
+                    src_layouts.append(self.routed.shards[src_node].output_layout)
+
+            per_dev = [
+                self._op_backward(
+                    op,
+                    [a[d] for a in conv_args],
+                    local_w.get(name, [None] * tp)[d],
+                    gys[d],
+                    shards=tp if shard.pattern != "replicate" else 1,
+                    partial_output=(shard.output_layout == Layout.P),
+                )
+                for d in range(tp)
+            ]
+            if any(g[1] is not None for g in per_dev):
+                wgrads_local[name] = [per_dev[d][1] for d in range(tp)]
+
+            for i, src in enumerate(op.inputs):
+                src_node = self.ex._op_to_node[src]
+                g_list = [per_dev[d][0][i] for d in range(tp)]
+                if any(g is None for g in g_list):
+                    continue
+                if src_layouts[i] != "local":
+                    g_list = self._convert_grad(
+                        g_list,
+                        src_layouts[i],
+                        shard.input_layout,
+                        meter,
+                        consumer_partial=shard.bwd_input_reduction,
+                    )
+                prev = grads.get(src)
+                grads[src] = (
+                    g_list
+                    if prev is None
+                    else [p + g for p, g in zip(prev, g_list)]
+                )
+
+        # ---- reassemble logical gradients ------------------------------
+        # Split weights concatenate their shard gradients back; weights
+        # held whole on every device all-reduce (each device contributes
+        # its token slice's — or its partial sum's — share).  This is the
+        # numeric form of the dp/all-axis gradient synchronisation.
+        wgrads: Dict[str, np.ndarray] = {}
+        for name, shards_list in wgrads_local.items():
+            op = self.graph.op(name)
+            local_spec = local_w[name][0].shape
+            if local_spec != op.weight.shape:
+                axis = next(
+                    i
+                    for i, (a, b) in enumerate(zip(op.weight.shape, local_spec))
+                    if a != b
+                )
+                wgrads[name] = np.concatenate(shards_list, axis=axis)
+            else:
+                wgrads[name] = comm.all_reduce(shards_list, meter)[0]
+
+        input_grads: Dict[str, np.ndarray] = {}
+        for k in inputs:
+            if k in grads:
+                input_grads[k] = np.concatenate(grads[k], axis=0)  # D layout
+        return wgrads, input_grads, meter
+
+    # ------------------------------------------------------------------
+    def _convert_grad(
+        self,
+        g_list: List[np.ndarray],
+        src_layout: str,
+        dst_layout: str,
+        meter,
+        consumer_partial: bool = False,
+    ) -> List[np.ndarray]:
+        """Backward mirror of a forward conversion ``src→dst``.
+
+        Gradients of the converted tensor (layout ``dst``) return to the
+        producer's layout ``src``.  ``consumer_partial`` says whether the
+        consumer's backward produced *partial* gradients (column-parallel
+        weights — must be reduced) or redundant identical copies (a
+        token-shared follow node — a free slice suffices).
+        """
+        tp = self.tp
+        key = (src_layout, dst_layout)
+        if dst_layout == Layout.R and src_layout in (
+            Layout.D, Layout.S, Layout.R
+        ):
+            if consumer_partial:
+                if src_layout == Layout.R:
+                    return comm.all_reduce(g_list, meter)
+                axis = 0 if src_layout == Layout.D else -1
+                return comm.reduce_scatter(g_list, axis=axis, meter=meter)
+            # redundant consumer: every device already holds the full grad
+            if src_layout == Layout.R:
+                return g_list
+            if src_layout == Layout.D:
+                return [comm.slice_tokens(g_list[d], tp)[d] for d in range(tp)]
+            return [comm.slice_features(g_list[d], tp)[d] for d in range(tp)]
+        if src_layout == dst_layout:
+            return g_list
+        if key == (Layout.R, Layout.D):
+            # fwd token slice → bwd gather token slices
+            return comm.gather_tokens(g_list, meter)
+        if key == (Layout.R, Layout.S):
+            return comm.gather_features(g_list, meter)
+        if key == (Layout.P, Layout.D):
+            return comm.gather_tokens(g_list, meter)
+        if key == (Layout.P, Layout.S):
+            return comm.gather_features(g_list, meter)
+        if key == (Layout.P, Layout.R):
+            # fwd all_reduce is linear: gradient passes through, replicated
+            return [g.copy() for g in g_list]
+        if key == (Layout.D, Layout.S):
+            gathered = comm.gather_features(g_list, meter)
+            return [comm.slice_tokens(gathered[d], tp)[d] for d in range(tp)]
+        if key == (Layout.S, Layout.D):
+            gathered = comm.gather_tokens(g_list, meter)
+            return [comm.slice_features(gathered[d], tp)[d] for d in range(tp)]
+        raise ExecutionError(f"no gradient conversion for {key}")
+
+    # ------------------------------------------------------------------
+    def _op_backward(
+        self,
+        op,
+        args: List[np.ndarray],
+        weight: Optional[np.ndarray],
+        gy: np.ndarray,
+        shards: int = 1,
+        partial_output: bool = False,
+    ) -> Tuple[List[Optional[np.ndarray]], Optional[np.ndarray]]:
+        """(per-input grads, weight grad) of one op."""
+        t = op.op_type
+        if t == OpType.MATMUL:
+            dx = gy @ weight.T
+            dw = args[0].T @ gy
+            return [dx], dw
+        if t == OpType.ADD:
+            if weight is not None:
+                db = gy.sum(axis=0)
+                if partial_output and shards > 1:
+                    db = db / shards
+                return [gy.copy()], db
+            return [gy.copy() for _ in args], None
+        if t == OpType.MUL:
+            out = []
+            for i in range(len(args)):
+                g = gy.copy()
+                for j, a in enumerate(args):
+                    if j != i:
+                        g = g * a
+                out.append(g)
+            return out, None
+        if t == OpType.RELU:
+            return [gy * (args[0] > 0)], None
+        if t == OpType.GELU:
+            return [gy * _gelu_grad(args[0])], None
+        if t == OpType.LAYERNORM:
+            dx, dw = _layernorm_grads(args[0], weight, gy)
+            return [dx], dw
+        if t in (OpType.DROPOUT, OpType.RESHAPE, OpType.IDENTITY_AUX,
+                 OpType.REDUCE_MEAN):
+            return [gy.copy()], None
+        if t == OpType.SOFTMAX:
+            y = self.ex._apply(op, args, None, 1)
+            dx = y * (gy - (gy * y).sum(axis=-1, keepdims=True))
+            return [dx], None
+        if t == OpType.CROSS_ENTROPY:
+            # forward: lse(x) - mean(x); gradient: softmax(x) - 1/n
+            x = args[0]
+            m = x.max(axis=-1, keepdims=True)
+            e = np.exp(x - m)
+            soft = e / e.sum(axis=-1, keepdims=True)
+            n = x.shape[-1]
+            return [gy * (soft - 1.0 / n)], None
+        raise ExecutionError(f"no backward for op {t!r}")
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        inputs: Dict[str, np.ndarray],
+        rtol: float = 1e-8,
+        atol: float = 1e-7,
+    ) -> GradientReport:
+        """Compare sharded gradients against the dense reference."""
+        ref_w, ref_x = self.reference_grads(inputs)
+        got_w, got_x, meter = self.sharded_grads(inputs)
+        max_w = 0.0
+        ok = True
+        checked = 0
+        for name, ref in ref_w.items():
+            got = got_w.get(name)
+            if got is None or got.shape != ref.shape:
+                ok = False
+                continue
+            err = float(np.max(np.abs(got - ref)))
+            max_w = max(max_w, err)
+            checked += 1
+            if not np.allclose(got, ref, rtol=rtol, atol=atol):
+                ok = False
+        max_x = 0.0
+        for name, ref in ref_x.items():
+            got = got_x.get(name)
+            if got is None:
+                ok = False
+                continue
+            err = float(np.max(np.abs(got - ref)))
+            max_x = max(max_x, err)
+            if not np.allclose(got, ref, rtol=rtol, atol=atol):
+                ok = False
+        return GradientReport(
+            max_weight_grad_error=max_w,
+            max_input_grad_error=max_x,
+            weights_checked=checked,
+            equivalent=ok and checked > 0,
+            traffic=meter,
+        )

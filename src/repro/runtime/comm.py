@@ -1,0 +1,134 @@
+"""Numeric collectives over simulated devices.
+
+Each collective operates on a list of numpy arrays — one per device of a
+tensor-parallel group — and returns the per-device results, mirroring the
+buffer-object collectives of MPI/NCCL.  A :class:`TrafficMeter` counts the
+wire bytes each call would move (ring-algorithm volumes), which the tests
+cross-check against the analytical cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cluster.collectives import collective_wire_bytes
+
+__all__ = [
+    "TrafficMeter",
+    "all_reduce",
+    "all_gather",
+    "reduce_scatter",
+    "broadcast",
+    "gather_tokens",
+    "slice_tokens",
+    "slice_features",
+    "gather_features",
+]
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates logical wire traffic per collective kind."""
+
+    bytes_by_kind: Dict[str, float] = field(default_factory=dict)
+    calls_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, full_bytes: int, group_size: int) -> None:
+        wire = collective_wire_bytes(kind, full_bytes, group_size)
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0.0) + wire
+        self.calls_by_kind[kind] = self.calls_by_kind.get(kind, 0) + 1
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes_by_kind.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls_by_kind.values())
+
+
+def _check_group(xs: Sequence[np.ndarray]) -> None:
+    if not xs:
+        raise ValueError("empty device group")
+    shape = xs[0].shape
+    for x in xs[1:]:
+        if x.shape != shape:
+            raise ValueError(f"mismatched shard shapes {shape} vs {x.shape}")
+
+
+def all_reduce(
+    xs: Sequence[np.ndarray], meter: TrafficMeter | None = None
+) -> List[np.ndarray]:
+    """Every device receives the elementwise sum."""
+    _check_group(xs)
+    total = np.sum(np.stack(xs, axis=0), axis=0)
+    if meter is not None:
+        meter.record("all_reduce", total.nbytes, len(xs))
+    return [total.copy() for _ in xs]
+
+
+def all_gather(
+    xs: Sequence[np.ndarray], axis: int, meter: TrafficMeter | None = None
+) -> List[np.ndarray]:
+    """Every device receives the concatenation of all shards along *axis*."""
+    _check_group(xs)
+    full = np.concatenate(list(xs), axis=axis)
+    if meter is not None:
+        meter.record("all_gather", full.nbytes, len(xs))
+    return [full.copy() for _ in xs]
+
+
+def reduce_scatter(
+    xs: Sequence[np.ndarray], axis: int, meter: TrafficMeter | None = None
+) -> List[np.ndarray]:
+    """Sum all partials, then each device keeps its slice along *axis*."""
+    _check_group(xs)
+    p = len(xs)
+    total = np.sum(np.stack(xs, axis=0), axis=0)
+    if total.shape[axis] % p != 0:
+        raise ValueError(
+            f"axis {axis} of shape {total.shape} not divisible by {p}"
+        )
+    if meter is not None:
+        meter.record("reduce_scatter", total.nbytes, p)
+    return [s.copy() for s in np.split(total, p, axis=axis)]
+
+
+def broadcast(
+    x: np.ndarray, group_size: int, meter: TrafficMeter | None = None
+) -> List[np.ndarray]:
+    """Root's tensor copied to every device."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if meter is not None:
+        meter.record("broadcast", x.nbytes, group_size)
+    return [x.copy() for _ in range(group_size)]
+
+
+# ----------------------------------------------------------------------
+# Layout-change helpers built on the primitives (token axis 0, feature
+# axis -1 in the executor's 2-D activation convention).
+# ----------------------------------------------------------------------
+def gather_tokens(xs: Sequence[np.ndarray], meter: TrafficMeter | None = None):
+    return all_gather(xs, axis=0, meter=meter)
+
+
+def slice_tokens(x: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Local (free) token slicing of a replicated tensor."""
+    if x.shape[0] % parts != 0:
+        raise ValueError(f"token dim {x.shape[0]} not divisible by {parts}")
+    return [s.copy() for s in np.split(x, parts, axis=0)]
+
+
+def slice_features(x: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Local (free) feature slicing of a replicated tensor."""
+    if x.shape[-1] % parts != 0:
+        raise ValueError(f"feature dim {x.shape[-1]} not divisible by {parts}")
+    return [s.copy() for s in np.split(x, parts, axis=-1)]
+
+
+def gather_features(xs: Sequence[np.ndarray], meter: TrafficMeter | None = None):
+    return all_gather(xs, axis=-1, meter=meter)

@@ -1,0 +1,87 @@
+"""Synthetic training-loss curves for the §6.5 convergence study (Fig. 15).
+
+The paper trains M6-MoE-100B on 128 GPUs and M6-MoE-1T on 480 GPUs and
+shows the 1T model reaching visibly lower loss.  We cannot train
+trillion-parameter models; per the substitution rule we generate loss
+curves from a Chinchilla-style scaling law
+
+    L(N, D) = L_inf + A / N^alpha + B / D^beta
+
+with N = parameter count and D = tokens seen, plus seeded optimisation
+noise.  The *relation the figure demonstrates* — the larger model trains to
+a lower loss over the same schedule — is a direct consequence of the law,
+which is the qualitative claim being reproduced (and is documented as
+synthetic in DESIGN.md / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["ScalingLaw", "LossCurve", "simulate_training_loss"]
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """Chinchilla-form loss law; defaults follow Hoffmann et al. fits."""
+
+    l_inf: float = 1.69
+    a: float = 406.4
+    alpha: float = 0.34
+    b: float = 410.7
+    beta: float = 0.28
+
+    def loss(self, params: float, tokens: float) -> float:
+        if params <= 0 or tokens <= 0:
+            raise ValueError("params and tokens must be positive")
+        return self.l_inf + self.a / params**self.alpha + self.b / tokens**self.beta
+
+
+@dataclass
+class LossCurve:
+    """One simulated run: steps and the loss at each step."""
+
+    name: str
+    steps: List[int]
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+    def as_series(self):
+        return list(zip(self.steps, self.losses))
+
+
+def simulate_training_loss(
+    name: str,
+    num_parameters: float,
+    tokens_per_step: float,
+    num_steps: int = 200,
+    law: ScalingLaw | None = None,
+    noise_scale: float = 0.01,
+    warmup_penalty: float = 2.0,
+    seed: int = 0,
+) -> LossCurve:
+    """Generate a loss curve for one model/schedule.
+
+    ``warmup_penalty`` adds a decaying early-training excess (random init +
+    LR warm-up) so curves have the familiar hockey-stick shape rather than
+    starting on the asymptote.
+    """
+    if num_steps <= 0:
+        raise ValueError("num_steps must be positive")
+    law = law or ScalingLaw()
+    rng = np.random.default_rng(seed)
+    steps = list(range(1, num_steps + 1))
+    losses: List[float] = []
+    for s in steps:
+        tokens = tokens_per_step * s
+        base = law.loss(num_parameters, tokens)
+        warmup = warmup_penalty * np.exp(-5.0 * s / num_steps)
+        noise = noise_scale * float(rng.standard_normal()) * base
+        losses.append(float(base + warmup + noise))
+    return LossCurve(name=name, steps=steps, losses=losses)

@@ -1,0 +1,178 @@
+"""Event-level simulation of one training iteration under a plan.
+
+Unlike the closed-form cost model (used inside the search loop, where speed
+matters), this simulator replays the routed plan's node order on a
+compute channel and a communication channel:
+
+* forward — each node's compute blocks on its inputs; layout-conversion
+  collectives serialise between the producing and consuming compute tasks
+  (§4.6: "the computation of the current layer is blocked until the input
+  arrives").
+* backward — nodes replay in reverse; activation-gradient collectives
+  serialise, while weight-gradient buckets (fused per §4.7.1) are submitted
+  to the communication channel the moment their last member gradient is
+  produced, overlapping transmission with the remaining backward compute.
+
+The exposed communication time, bubble sizes and phase breakdown come out
+of the channel logs, not from closed-form ``min``/``max`` bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster import Mesh, collective_time
+from ..core.cost import CostConfig, CostModel
+from ..core.packing import pack_gradients
+from ..core.plan import RoutedPlan
+
+__all__ = ["IterationProfile", "simulate_iteration"]
+
+
+@dataclass
+class IterationProfile:
+    """Simulated wall-clock anatomy of one training step."""
+
+    forward_time: float = 0.0
+    backward_time: float = 0.0
+    iteration_time: float = 0.0
+    compute_time: float = 0.0         # busy compute, both phases
+    comm_time: float = 0.0            # busy communication, both phases
+    exposed_comm_time: float = 0.0    # comm not hidden behind compute
+    gradient_sync_time: float = 0.0   # busy time of gradient buckets
+    num_gradient_buckets: int = 0
+    #: the engine that produced this profile (for chrome-trace export)
+    engine: object = None
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of communication hidden behind compute."""
+        if self.comm_time <= 0:
+            return 1.0
+        return 1.0 - self.exposed_comm_time / self.comm_time
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "forward_time": self.forward_time,
+            "backward_time": self.backward_time,
+            "iteration_time": self.iteration_time,
+            "compute_time": self.compute_time,
+            "comm_time": self.comm_time,
+            "exposed_comm_time": self.exposed_comm_time,
+            "gradient_sync_time": self.gradient_sync_time,
+        }
+
+
+def simulate_iteration(
+    routed: RoutedPlan,
+    mesh: Mesh,
+    config: Optional[CostConfig] = None,
+    recompute=None,
+) -> IterationProfile:
+    """Replay one iteration of *routed* on *mesh* at event granularity.
+
+    ``recompute`` is an optional :class:`repro.passes.RecomputePolicy`;
+    nodes it marks re-run their forward computation during backward
+    (gradient checkpointing's time cost).
+    """
+    from .engine import Engine
+
+    cfg = config or CostConfig()
+    bwd_factor = cfg.backward_flops_factor
+    if recompute is not None and recompute.enabled:
+        bwd_factor *= recompute.backward_compute_multiplier()
+    cm = CostModel(mesh, cfg)
+    tp_group, dp_group, all_group = cm.groups(routed.tp_degree)
+    groups = {"tp": tp_group, "dp": dp_group, "all": all_group}
+    dp = cm.dp_degree(routed.tp_degree)
+    tokens = max(cfg.batch_tokens // dp, 1)
+
+    engine = Engine()
+    compute = engine.channel("compute")
+    comm = engine.channel("comm")
+
+    prof = IterationProfile()
+
+    def comm_seconds(ev) -> float:
+        return collective_time(
+            ev.collective,
+            ev.nbytes(tokens),
+            groups[ev.axis],
+            use_efficiency=cfg.use_efficiency,
+        )
+
+    # ------------------------------------------------------------------
+    # forward pass: conversions gate the consuming node's compute
+    # ------------------------------------------------------------------
+    for name in routed.order:
+        shard = routed.shards[name]
+        ready = compute.free_at
+        for ev in shard.events:
+            if ev.phase != "forward":
+                continue
+            t = comm.submit(f"fwd:{ev.collective}@{name}", comm_seconds(ev), ready=ready)
+            ready = max(ready, t.end)
+        t_compute = shard.flops * tokens * shard.compute_share / mesh.effective_flops
+        compute.submit(f"fwd:{name}", t_compute, ready=ready)
+    prof.forward_time = engine.makespan
+
+    # ------------------------------------------------------------------
+    # backward pass: reverse order; gradient buckets overlap
+    # ------------------------------------------------------------------
+    backward_start = engine.makespan
+    compute.free_at = max(compute.free_at, backward_start)
+    comm.free_at = max(comm.free_at, backward_start)
+
+    # Assemble the gradient streams in backward (reverse) order, remembering
+    # which node index produces each packet so buckets fire on time.
+    reverse = list(reversed(routed.order))
+    grad_packets: Dict[str, List[tuple]] = {"dp": [], "all": []}
+
+    for name in reverse:
+        shard = routed.shards[name]
+        ready = compute.free_at
+        for ev in shard.events:
+            if ev.phase != "backward" or ev.overlappable:
+                continue
+            t = comm.submit(f"bwd:{ev.collective}@{name}", comm_seconds(ev), ready=ready)
+            ready = max(ready, t.end)
+        t_compute = (
+            bwd_factor
+            * shard.flops
+            * tokens
+            * shard.compute_share
+            / mesh.effective_flops
+        )
+        task = compute.submit(f"bwd:{name}", t_compute, ready=ready)
+        for ev in shard.events:
+            if ev.phase == "backward" and ev.overlappable:
+                grad_packets[ev.axis].append((task.end, ev.nbytes(tokens)))
+
+    # Fuse packets in production order and submit each bucket when its last
+    # member is available (§4.7.1's pipelining of sync with updates).
+    for axis, packets in grad_packets.items():
+        if not packets:
+            continue
+        sizes = [p[1] for p in packets]
+        buckets = pack_gradients(sizes, cfg.packing)
+        prof.num_gradient_buckets += len(buckets)
+        idx = 0
+        for bucket in buckets:
+            members = packets[idx : idx + bucket.num_tensors]
+            idx += bucket.num_tensors
+            ready = max(m[0] for m in members)
+            seconds = collective_time(
+                "all_reduce", bucket.nbytes, groups[axis],
+                use_efficiency=cfg.use_efficiency,
+            )
+            t = comm.submit(f"grad:{axis}", seconds, ready=ready)
+            prof.gradient_sync_time += t.duration
+
+    prof.iteration_time = engine.makespan
+    prof.backward_time = prof.iteration_time - prof.forward_time
+    prof.compute_time = compute.busy_time
+    prof.comm_time = comm.busy_time
+    prof.exposed_comm_time = max(0.0, prof.iteration_time - prof.compute_time)
+    prof.engine = engine
+    return prof

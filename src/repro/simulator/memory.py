@@ -1,0 +1,125 @@
+"""Per-device memory accounting for a routed plan.
+
+Memory per device decomposes into:
+
+* **weights** — local shards (split weights take 1/tp of their bytes);
+* **gradients** — same footprint as the weights;
+* **optimizer state** — ``optimizer_factor`` × weights (2 for Adam's m/v);
+* **activations** — every node output stored for the backward pass, sized
+  by its layout over the TP group (D and S store 1/tp of the group's
+  slice; R stores the whole slice; P is a transient partial buffer that
+  exists only until its reduction, so it contributes to the transient
+  peak, not the resident set);
+* **communication buffers** — the largest single in-flight collective
+  output (NCCL-style fused buffers are reused, so the peak is the max,
+  not the sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cluster import Mesh
+from ..core.cost import CostConfig, CostModel
+from ..core.patterns import Layout
+from ..core.plan import RoutedPlan
+
+__all__ = ["MemoryReport", "memory_per_device"]
+
+
+@dataclass
+class MemoryReport:
+    """Bytes per device, by category."""
+
+    weights: int = 0
+    gradients: int = 0
+    optimizer: int = 0
+    activations: int = 0
+    transient_peak: int = 0   # largest partial / comm buffer alive at once
+
+    @property
+    def total(self) -> int:
+        return (
+            self.weights
+            + self.gradients
+            + self.optimizer
+            + self.activations
+            + self.transient_peak
+        )
+
+    @property
+    def total_gb(self) -> float:
+        return self.total / (1 << 30)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "weights": self.weights,
+            "gradients": self.gradients,
+            "optimizer": self.optimizer,
+            "activations": self.activations,
+            "transient_peak": self.transient_peak,
+            "total": self.total,
+        }
+
+
+#: Bytes each activation layout keeps resident per device, as a fraction of
+#: the tensor materialised at the TP group's token slice.
+_LAYOUT_FRACTION = {
+    Layout.D: None,  # 1/tp — handled explicitly
+    Layout.S: None,  # 1/tp
+    Layout.R: 1.0,
+    Layout.P: 0.0,   # transient, accounted in the peak term
+}
+
+
+def memory_per_device(
+    routed: RoutedPlan,
+    mesh: Mesh,
+    config: Optional[CostConfig] = None,
+    optimizer_factor: float = 2.0,
+    recompute=None,
+    extra_master_bytes: int = 0,
+) -> MemoryReport:
+    """Estimate the per-device memory footprint of one training step.
+
+    ``recompute`` is an optional :class:`repro.passes.RecomputePolicy`:
+    nodes it marks for recomputation store no activations.
+    ``extra_master_bytes`` adds AMP's fp32 master-weight copies.
+    """
+    cfg = config or CostConfig()
+    cm = CostModel(mesh, cfg)
+    dp = cm.dp_degree(routed.tp_degree)
+    tp = routed.tp_degree
+    tokens = max(cfg.batch_tokens // dp, 1)
+
+    report = MemoryReport()
+    transient = 0
+    for name in routed.order:
+        shard = routed.shards[name]
+        report.weights += shard.local_weight_bytes
+        spec = shard.output_spec
+        if spec is None:
+            continue
+        if recompute is not None and not recompute.stores_activation(name):
+            continue
+        full = spec.with_batch(tokens).size_bytes if spec.has_symbolic_batch else spec.size_bytes
+        layout = shard.output_layout
+        if layout in (Layout.D, Layout.S):
+            report.activations += full // tp
+        elif layout == Layout.R:
+            report.activations += full
+        else:  # P: transient until reduced
+            transient = max(transient, full)
+        # in-flight collective buffers: one full-size output per event
+        for ev in shard.events:
+            if ev.phase == "forward":
+                transient = max(transient, ev.nbytes(tokens))
+
+    report.gradients = report.weights
+    report.optimizer = int(optimizer_factor * report.weights)
+    # AMP master copies sit beside the working weights and are neither
+    # gradient nor optimizer state (those were sized from the working set).
+    report.weights += extra_master_bytes
+    report.transient_peak = transient
+    return report

@@ -1,0 +1,14 @@
+"""Text rendering of plans (Fig. 14) and table/series formatting helpers."""
+
+from .plans import render_plan, render_layer_grid
+from .tables import format_table, format_series
+from .sparkline import render_curves, sparkline
+
+__all__ = [
+    "render_plan",
+    "render_layer_grid",
+    "format_table",
+    "format_series",
+    "render_curves",
+    "sparkline",
+]

@@ -1,0 +1,96 @@
+"""ASCII rendering of sharding plans — the reproduction of Fig. 14.
+
+The paper plots each trainable variable in a transformer layer as a box,
+colour-coded by sharding decision.  Here each variable renders as a cell
+``[name:MARK]`` where the mark encodes the pattern:
+
+====  ==========================================
+mark  meaning
+====  ==========================================
+``R``  replicated (data parallel)
+``C``  column-split (output dim)
+``W``  row-split (input dim)
+``V``  vocabulary-split embedding
+``H``  hidden-split embedding
+``E``  expert-split (MoE)
+====  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.graphnode import NodeGraph
+from ..core.plan import ShardingPlan
+
+__all__ = ["PATTERN_MARKS", "render_plan", "render_layer_grid"]
+
+PATTERN_MARKS: Dict[str, str] = {
+    "replicate": "R",
+    "split_col": "C",
+    "split_row": "W",
+    "split_cout": "C",
+    "split_cin": "W",
+    "split_vocab": "V",
+    "split_hidden": "H",
+    "split_expert": "E",
+}
+
+
+def _mark(pattern: str) -> str:
+    return PATTERN_MARKS.get(pattern, "?")
+
+
+def render_layer_grid(
+    node_graph: NodeGraph,
+    plan: ShardingPlan,
+    scope: str,
+    label: Optional[str] = None,
+) -> str:
+    """Render one layer's weight variables as a row of marked cells."""
+    assignment = plan.as_dict
+    cells: List[str] = []
+    for node in node_graph.weight_nodes():
+        if not (node.name == scope or node.name.startswith(scope + "/")):
+            continue
+        short = node.name[len(scope) :].lstrip("/") or node.name.rsplit("/", 1)[-1]
+        cells.append(f"[{short}:{_mark(assignment.get(node.name, 'replicate'))}]")
+    prefix = f"{label or scope}: " if cells else ""
+    return prefix + " ".join(cells)
+
+
+def render_plan(
+    node_graph: NodeGraph,
+    plan: ShardingPlan,
+    layer_scopes: Optional[List[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a whole plan, one line per layer scope.
+
+    Without explicit ``layer_scopes``, every scope containing the marker
+    ``layer_`` is rendered once (the first instance stands for the repeated
+    block, as in the paper's figure).
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), 8))
+    if layer_scopes is None:
+        seen = set()
+        layer_scopes = []
+        for node in node_graph.weight_nodes():
+            parts = node.name.split("/")
+            for i, part in enumerate(parts):
+                if part.startswith("layer_"):
+                    scope = "/".join(parts[: i + 1])
+                    if scope not in seen:
+                        seen.add(scope)
+                        layer_scopes.append(scope)
+                    break
+    for scope in layer_scopes:
+        row = render_layer_grid(node_graph, plan, scope)
+        if row:
+            lines.append(row)
+    legend = "legend: R=replica C=col-split W=row-split V=vocab H=hidden E=expert"
+    lines.append(legend)
+    return "\n".join(lines)

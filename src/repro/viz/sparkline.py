@@ -1,0 +1,67 @@
+"""Unicode sparklines for series data (loss curves, sweeps) in the terminal.
+
+Small, dependency-free rendering so benchmark outputs can *show* a curve's
+shape (the Fig. 15 hockey stick) instead of only sampling points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "render_curves"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a numeric series as a bar-character strip.
+
+    ``width`` downsamples by averaging buckets; ``lo``/``hi`` pin the value
+    range so multiple sparklines share a scale.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            / max(len(vals[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BARS[0] * len(vals)
+    out: List[str] = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[min(max(idx, 0), len(_BARS) - 1)])
+    return "".join(out)
+
+
+def render_curves(
+    curves: Iterable[Tuple[str, Sequence[float]]],
+    width: int = 48,
+) -> str:
+    """Render several named series on one shared scale, one line each."""
+    curve_list = [(name, [float(v) for v in vals]) for name, vals in curves]
+    all_vals = [v for _, vals in curve_list for v in vals]
+    if not all_vals:
+        return ""
+    lo, hi = min(all_vals), max(all_vals)
+    name_w = max(len(name) for name, _ in curve_list)
+    lines = []
+    for name, vals in curve_list:
+        strip = sparkline(vals, width=width, lo=lo, hi=hi)
+        lines.append(
+            f"{name.ljust(name_w)}  {strip}  "
+            f"[{vals[0]:.3g} → {vals[-1]:.3g}]"
+        )
+    return "\n".join(lines)

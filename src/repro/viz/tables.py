@@ -1,0 +1,56 @@
+"""Plain-text table and series formatting shared by the benchmark harness.
+
+Every benchmark prints the rows/series of its paper table or figure through
+these helpers so the regenerated artifacts have one consistent layout in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Fixed-width table with a header rule, ready for terminal output."""
+    rendered: List[List[str]] = [[_render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Iterable[Tuple[Cell, Cell]], unit: str = ""
+) -> str:
+    """One figure series as ``name: x=y`` pairs (the plotted line's data)."""
+    parts = [f"{_render(x)}={_render(y)}{unit}" for x, y in points]
+    return f"{name}: " + "  ".join(parts)

@@ -1,0 +1,143 @@
+"""Tests for the Alpa-like and FlexFlow-like comparator searches."""
+
+import pytest
+
+from repro.cluster import Mesh, paper_testbed
+from repro.graph import trim_auxiliary
+from repro.core import coarsen, derive_plan
+from repro.baselines import alpa_like_search, flexflow_like_search
+from repro.models import TransformerConfig, build_t5, resnet_with_classes
+
+
+def nodes_for(graph):
+    trimmed, _ = trim_auxiliary(graph)
+    return coarsen(trimmed)
+
+
+@pytest.fixture(scope="module")
+def small_t5_nodes():
+    return nodes_for(
+        build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2, hidden=256,
+                                   ffn_dim=1024, num_heads=4, vocab=512))
+    )
+
+
+class TestAlpaLike:
+    def test_returns_candidates_and_best(self, small_t5_nodes):
+        res = alpa_like_search(small_t5_nodes, paper_testbed(), num_candidates=8)
+        assert res.plans
+        assert res.best is res.plans[res.iteration_times.index(min(res.iteration_times))]
+        assert res.best.iteration_time > 0
+
+    def test_stages_partition_all_nodes(self, small_t5_nodes):
+        res = alpa_like_search(small_t5_nodes, paper_testbed(), num_candidates=4)
+        plan = res.best
+        covered = [n for s in plan.stages for n in s.nodes]
+        assert len(covered) == len(small_t5_nodes)
+        assert len(set(covered)) == len(covered)
+
+    def test_profiling_counts_signatures(self, small_t5_nodes):
+        res = alpa_like_search(small_t5_nodes, paper_testbed())
+        assert res.ops_profiled > 0
+
+    def test_profile_off(self, small_t5_nodes):
+        res = alpa_like_search(small_t5_nodes, paper_testbed(), profile=False)
+        assert res.ops_profiled == 0
+
+    def test_work_grows_superlinearly_with_depth(self):
+        """Fig. 9's mechanism: Alpa's DP states grow with the square of the
+        graph; TAP's candidates stay constant."""
+        mesh = paper_testbed()
+        cfg = TransformerConfig(hidden=128, ffn_dim=512, num_heads=4, vocab=256,
+                                encoder_layers=2, decoder_layers=2)
+        shallow = alpa_like_search(nodes_for(build_t5(cfg)), mesh, profile=False)
+        deep_cfg = TransformerConfig(hidden=128, ffn_dim=512, num_heads=4, vocab=256,
+                                     encoder_layers=8, decoder_layers=8)
+        deep = alpa_like_search(nodes_for(build_t5(deep_cfg)), mesh, profile=False)
+        assert deep.dp_states_evaluated > 6 * shallow.dp_states_evaluated
+        assert deep.intra_choices_evaluated > shallow.intra_choices_evaluated
+
+    def test_bubble_fraction_shrinks_with_microbatches(self, small_t5_nodes):
+        res = alpa_like_search(
+            small_t5_nodes, paper_testbed(),
+            stage_counts=(4,), microbatch_counts=(2, 16), num_candidates=4,
+        )
+        by_mb = {p.microbatches: p.bubble_fraction for p in res.plans}
+        assert by_mb[16] < by_mb[2]
+
+    def test_wide_classifier_causes_stage_imbalance(self):
+        """Fig. 12's mechanism: the giant FC layer makes pipeline stages
+        unbalanceable, so Alpa-like plans degrade on wide ResNets."""
+        mesh = paper_testbed()
+        narrow = alpa_like_search(
+            nodes_for(resnet_with_classes(1024)), mesh, profile=False,
+            stage_counts=(4,), microbatch_counts=(8,),
+        )
+        wide = alpa_like_search(
+            nodes_for(resnet_with_classes(262144)), mesh, profile=False,
+            stage_counts=(4,), microbatch_counts=(8,),
+        )
+
+        def imbalance(plan):
+            times = [s.compute_seconds for s in plan.stages]
+            return max(times) / (sum(times) / len(times))
+
+        assert imbalance(wide.best) > imbalance(narrow.best)
+
+
+class TestFlexFlowLike:
+    def test_budget_respected(self, small_t5_nodes):
+        res = flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=25, seed=1)
+        assert res.trials == 25
+        assert len(res.trajectory) == 25
+
+    def test_invalid_budget(self, small_t5_nodes):
+        with pytest.raises(ValueError):
+            flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=0)
+
+    def test_best_cost_never_worse_than_start(self, small_t5_nodes):
+        res = flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=60, seed=2)
+        assert res.best_cost <= res.trajectory[0] + 1e-12
+
+    def test_trajectory_monotone_best(self, small_t5_nodes):
+        res = flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=40, seed=3)
+        running = float("inf")
+        for c in res.trajectory:
+            running = min(running, c)
+        assert res.best_cost <= running + 1e-12
+
+    def test_deterministic_given_seed(self, small_t5_nodes):
+        a = flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=30, seed=7)
+        b = flexflow_like_search(small_t5_nodes, Mesh(1, 4), budget=30, seed=7)
+        assert a.trajectory == b.trajectory
+        assert a.best_cost == b.best_cost
+
+    def test_tp_degree_validation(self, small_t5_nodes):
+        with pytest.raises(ValueError):
+            flexflow_like_search(small_t5_nodes, Mesh(1, 4), tp_degree=3)
+
+    def test_mcmc_beats_or_matches_pure_dp(self, small_t5_nodes):
+        """With enough trials the chain should find a plan at least as good
+        as its all-replicate start under the comm objective."""
+        res = flexflow_like_search(
+            small_t5_nodes, paper_testbed(), budget=120, seed=0, tp_degree=8
+        )
+        assert res.best_plan is not None
+        assert res.best_cost <= res.trajectory[0]
+
+
+class TestSearchTimeComparison:
+    def test_tap_flat_alpa_growing(self):
+        """The end-to-end Fig. 9 relation at miniature scale."""
+        mesh = paper_testbed()
+        cfg_small = TransformerConfig(hidden=128, ffn_dim=512, num_heads=4,
+                                      vocab=256, encoder_layers=2, decoder_layers=2)
+        cfg_big = TransformerConfig(hidden=128, ffn_dim=512, num_heads=4,
+                                    vocab=256, encoder_layers=8, decoder_layers=8)
+        tap_small = derive_plan(nodes_for(build_t5(cfg_small)), mesh)
+        tap_big = derive_plan(nodes_for(build_t5(cfg_big)), mesh)
+        # TAP's examined candidates are depth-independent
+        assert tap_big.candidates_examined == tap_small.candidates_examined
+        alpa_small = alpa_like_search(nodes_for(build_t5(cfg_small)), mesh, profile=False)
+        alpa_big = alpa_like_search(nodes_for(build_t5(cfg_big)), mesh, profile=False)
+        assert alpa_big.search_seconds > alpa_small.search_seconds

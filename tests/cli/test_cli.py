@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_presets(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "t5_large" in out and "resnet50" in out
+
+
+class TestInspect:
+    def test_shows_families(self, capsys):
+        assert main(["inspect", "bert_large"]) == 0
+        out = capsys.readouterr().out
+        assert "24 instances" in out
+        assert "search space" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "not_a_model"])
+
+
+class TestPlan:
+    def test_plan_small_mesh(self, capsys):
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out and "legend:" in out
+
+    def test_plan_saves_json(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024", "-o", str(path)]) == 0
+        assert path.exists()
+        assert "sharding_plan" in path.read_text()
+
+    def test_bad_mesh(self):
+        with pytest.raises(SystemExit, match="mesh"):
+            main(["plan", "clip_base", "--mesh", "banana"])
+
+
+class TestSimulate:
+    def test_named_plan(self, capsys):
+        assert main(["simulate", "bert_large", "--plan", "ffn_only",
+                     "--mesh", "1x8"]) == 0
+        out = capsys.readouterr().out
+        assert "step (ms)" in out and "memory (GB)" in out
+
+    def test_saved_plan_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024", "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "clip_base", "--plan", str(path),
+                     "--mesh", "1x4"]) == 0
+        out = capsys.readouterr().out
+        assert "clip_base" in out
+
+    def test_dp_plan(self, capsys):
+        assert main(["simulate", "bert_large", "--plan", "dp",
+                     "--mesh", "1x2"]) == 0

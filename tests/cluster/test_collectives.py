@@ -1,0 +1,99 @@
+"""Tests for analytical collective timing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    COLLECTIVES,
+    CollectiveModel,
+    Mesh,
+    collective_time,
+    collective_wire_bytes,
+)
+
+
+class TestWireBytes:
+    def test_all_reduce_volume(self):
+        assert collective_wire_bytes("all_reduce", 100.0, 4) == pytest.approx(150.0)
+
+    def test_all_gather_volume(self):
+        assert collective_wire_bytes("all_gather", 100.0, 4) == pytest.approx(75.0)
+
+    def test_single_rank_is_free(self):
+        for kind in ("all_reduce", "all_gather", "reduce_scatter", "all_to_all", "broadcast"):
+            assert collective_wire_bytes(kind, 100.0, 1) == 0.0
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError, match="unknown collective"):
+            collective_wire_bytes("gossip", 1.0, 2)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            collective_wire_bytes("all_reduce", -1.0, 2)
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            collective_wire_bytes("all_reduce", 1.0, 0)
+
+
+class TestTiming:
+    def test_single_device_group_free(self):
+        m = Mesh(1, 2)
+        assert collective_time("all_reduce", 1e6, m.group([0])) == 0.0
+
+    def test_inter_node_slower_than_intra(self):
+        m = Mesh(2, 4)
+        intra = collective_time("all_reduce", 1e8, m.group([0, 1, 2, 3]))
+        inter = collective_time("all_reduce", 1e8, m.group([0, 1, 4, 5]))
+        assert inter > intra
+
+    def test_allreduce_faster_than_allgather_same_bytes(self):
+        """§4.6: AllGather/AllToAll underperform AllReduce per byte moved."""
+        m = Mesh(2, 8)
+        g = m.group()
+        ar = collective_time("all_reduce", 1e8, g)
+        ag = collective_time("all_gather", 1e8, g)
+        a2a = collective_time("all_to_all", 1e8, g)
+        # normalise by wire volume so only efficiency differs
+        ar_per_byte = ar / collective_wire_bytes("all_reduce", 1e8, g.size)
+        ag_per_byte = ag / collective_wire_bytes("all_gather", 1e8, g.size)
+        a2a_per_byte = a2a / collective_wire_bytes("all_to_all", 1e8, g.size)
+        assert ar_per_byte < ag_per_byte < a2a_per_byte
+
+    def test_efficiency_toggle(self):
+        m = Mesh(1, 8)
+        g = m.group()
+        with_eff = collective_time("all_to_all", 1e8, g, use_efficiency=True)
+        without = collective_time("all_to_all", 1e8, g, use_efficiency=False)
+        assert with_eff > without
+
+    def test_model_binding(self):
+        m = Mesh(1, 4)
+        model = CollectiveModel(m.group())
+        assert model.time("all_reduce", 1e6) == collective_time(
+            "all_reduce", 1e6, m.group()
+        )
+        assert model.wire_bytes("all_reduce", 1e6) == collective_wire_bytes(
+            "all_reduce", 1e6, 4
+        )
+
+
+@given(
+    kind=st.sampled_from(sorted(COLLECTIVES)),
+    b1=st.floats(1.0, 1e9),
+    scale=st.floats(1.0, 100.0),
+    p=st.integers(2, 16),
+)
+def test_time_monotone_in_bytes(kind, b1, scale, p):
+    m = Mesh(2, 8)
+    g = m.group(list(range(p)))
+    t1 = collective_time(kind, b1, g)
+    t2 = collective_time(kind, b1 * scale, g)
+    assert t2 >= t1
+
+
+@given(kind=st.sampled_from(sorted(COLLECTIVES)), p=st.integers(1, 16))
+def test_wire_bytes_nonnegative_and_bounded(kind, p):
+    vol = collective_wire_bytes(kind, 1e6, p)
+    assert 0.0 <= vol <= 2e6

@@ -1,0 +1,46 @@
+"""Tests for the calibrated testbed presets and effective-FLOPs model."""
+
+import pytest
+
+from repro.cluster import GB, Mesh, PCIE_INTRA, V100_PCIE_ETHERNET, paper_testbed
+
+
+class TestPaperTestbed:
+    def test_defaults_match_section_6_1(self):
+        mesh = paper_testbed()
+        assert mesh.shape == (2, 8)
+        assert mesh.intra is PCIE_INTRA
+        assert mesh.inter.bandwidth == 4 * GB  # 32 Gbps Ethernet
+
+    def test_custom_shape(self):
+        mesh = paper_testbed(4, 4)
+        assert mesh.num_devices == 16
+        assert mesh.gpus_per_node == 4
+
+    def test_pcie_effective_rate_below_line_rate(self):
+        # NCCL rings over PCIe through the root complex sustain well under
+        # the x16 line rate; the calibration encodes that
+        assert PCIE_INTRA.bandwidth < 16 * GB
+        assert PCIE_INTRA.bandwidth >= 4 * GB
+
+    def test_nvlink_default_faster_than_pcie(self):
+        assert V100_PCIE_ETHERNET["intra"].bandwidth > PCIE_INTRA.bandwidth
+
+
+class TestEffectiveFlops:
+    def test_mfu_applied(self):
+        mesh = Mesh(1, 1)
+        assert mesh.effective_flops == pytest.approx(
+            mesh.device_flops * mesh.compute_efficiency
+        )
+        assert mesh.effective_flops < mesh.device_flops
+
+    def test_custom_efficiency(self):
+        mesh = Mesh(1, 1, compute_efficiency=0.5)
+        assert mesh.effective_flops == pytest.approx(0.5 * mesh.device_flops)
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 1, compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Mesh(1, 1, compute_efficiency=1.5)

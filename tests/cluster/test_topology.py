@@ -1,0 +1,94 @@
+"""Tests for the mesh/interconnect model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import DeviceGroup, Interconnect, Mesh
+
+
+class TestInterconnect:
+    def test_transfer_time(self):
+        link = Interconnect(bandwidth=1e9, latency=1e-5)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+    def test_zero_bytes_costs_latency(self):
+        link = Interconnect(bandwidth=1e9, latency=1e-5)
+        assert link.transfer_time(0) == pytest.approx(1e-5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Interconnect(bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            Interconnect(bandwidth=1e9, latency=-1)
+        with pytest.raises(ValueError):
+            Interconnect(bandwidth=1e9, latency=0).transfer_time(-1)
+
+
+class TestMesh:
+    def test_shape(self):
+        m = Mesh(2, 8)
+        assert m.num_devices == 16
+        assert m.shape == (2, 8)
+
+    def test_node_of(self):
+        m = Mesh(2, 8)
+        assert m.node_of(0) == 0
+        assert m.node_of(7) == 0
+        assert m.node_of(8) == 1
+        with pytest.raises(ValueError):
+            m.node_of(16)
+
+    def test_devices_on_node(self):
+        m = Mesh(2, 4)
+        assert m.devices_on_node(1) == [4, 5, 6, 7]
+        with pytest.raises(ValueError):
+            m.devices_on_node(2)
+
+    def test_link_between(self):
+        m = Mesh(2, 4)
+        assert m.link_between(0, 3) is m.intra
+        assert m.link_between(0, 4) is m.inter
+
+    def test_invalid_mesh(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 8)
+
+
+class TestDeviceGroup:
+    def test_default_group_is_whole_mesh(self):
+        m = Mesh(2, 4)
+        g = m.group()
+        assert g.size == 8
+        assert g.spans_nodes
+
+    def test_intra_node_group(self):
+        m = Mesh(2, 4)
+        g = m.group([0, 1, 2, 3])
+        assert not g.spans_nodes
+        assert g.bottleneck is m.intra
+
+    def test_cross_node_bottleneck(self):
+        m = Mesh(2, 4)
+        g = m.group([3, 4])
+        assert g.bottleneck is m.inter
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 2).group([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 4).group([1, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(1, 2).group([5])
+
+
+@given(m=st.integers(1, 4), n=st.integers(1, 8), d=st.integers(0, 31))
+def test_node_of_consistent_with_devices_on_node(m, n, d):
+    mesh = Mesh(m, n)
+    if d < mesh.num_devices:
+        node = mesh.node_of(d)
+        assert d in mesh.devices_on_node(node)

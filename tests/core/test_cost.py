@@ -1,0 +1,160 @@
+"""Tests for the communication cost model (§4.6)."""
+
+import pytest
+
+from repro.cluster import Mesh
+from repro.graph import trim_auxiliary
+from repro.core import (
+    CostConfig,
+    CostModel,
+    DEFAULT_REGISTRY,
+    ShardingPlan,
+    coarsen,
+    plan_cost,
+    route_plan,
+)
+from repro.core.packing import PackingConfig
+from repro.models import TransformerConfig, build_t5
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=4, decoder_layers=4))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+def plan_for(ng, suffix_patterns, tp):
+    mapping = {}
+    for node in ng.weight_nodes():
+        for suffix, pattern in suffix_patterns.items():
+            if node.name.endswith(suffix):
+                mapping[node.name] = pattern
+    return route_plan(ng, ShardingPlan.of(mapping, tp), DEFAULT_REGISTRY)
+
+
+MEGATRON = {
+    "mha/q": "split_col", "mha/k": "split_col", "mha/v": "split_col",
+    "mha/o": "split_row",
+    "ffn/intermediate": "split_col", "ffn/output": "split_row",
+}
+FFN_ONLY = {"ffn/intermediate": "split_col", "ffn/output": "split_row"}
+
+
+class TestGroups:
+    def test_group_shapes(self):
+        cm = CostModel(Mesh(2, 8))
+        tp_group, dp_group, all_group = cm.groups(8)
+        assert tp_group.size == 8 and not tp_group.spans_nodes
+        assert dp_group.size == 2 and dp_group.spans_nodes
+        assert all_group.size == 16
+
+    def test_invalid_tp_degree(self):
+        with pytest.raises(ValueError):
+            CostModel(Mesh(2, 8)).groups(3)
+
+    def test_dp_degree(self):
+        assert CostModel(Mesh(2, 8)).dp_degree(8) == 2
+
+
+class TestConfig:
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            CostConfig(batch_tokens=0)
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            CostConfig(objective="throughput")
+
+
+class TestBreakdown:
+    def test_pure_dp_has_only_gradient_comm(self, t5_nodes):
+        routed = plan_for(t5_nodes, {}, 1)
+        bd = CostModel(Mesh(2, 8)).estimate(routed)
+        assert bd.forward_comm == 0.0
+        assert bd.backward_tp_comm == 0.0
+        assert bd.gradient_comm > 0.0
+
+    def test_dp_gradient_volume_matches_weights(self, t5_nodes):
+        """DP all-reduces every trainable parameter across all 16 devices."""
+        routed = plan_for(t5_nodes, {}, 1)
+        grads = [e for e in routed.events("backward") if e.overlappable]
+        total_params = sum(e.spec.num_elements for e in grads)
+        assert total_params == sum(
+            s.local_parameters for s in routed.shards.values()
+        )
+
+    def test_sharding_reduces_gradient_comm(self, t5_nodes):
+        dp = plan_for(t5_nodes, {}, 1)
+        meg = plan_for(t5_nodes, MEGATRON, 8)
+        cm = CostModel(Mesh(2, 8))
+        assert cm.estimate(meg).gradient_comm < cm.estimate(dp).gradient_comm
+
+    def test_sharding_adds_activation_comm(self, t5_nodes):
+        dp = plan_for(t5_nodes, {}, 1)
+        meg = plan_for(t5_nodes, MEGATRON, 8)
+        cm = CostModel(Mesh(2, 8))
+        assert cm.estimate(meg).forward_comm > cm.estimate(dp).forward_comm
+
+    def test_megatron_more_fwd_comm_than_ffn_only(self, t5_nodes):
+        cm = CostModel(Mesh(2, 8))
+        meg = cm.estimate(plan_for(t5_nodes, MEGATRON, 8))
+        ffn = cm.estimate(plan_for(t5_nodes, FFN_ONLY, 8))
+        assert meg.forward_comm > ffn.forward_comm
+
+    def test_overlap_bounded_by_backward_compute(self, t5_nodes):
+        bd = CostModel(Mesh(2, 8)).estimate(plan_for(t5_nodes, {}, 1))
+        assert bd.overlapped_gradient_comm <= bd.backward_compute + 1e-12
+        assert bd.overlapped_gradient_comm <= bd.gradient_comm + 1e-12
+
+    def test_no_overlap_config(self, t5_nodes):
+        cfg = CostConfig(overlap_gradients=False)
+        bd = CostModel(Mesh(2, 8), cfg).estimate(plan_for(t5_nodes, {}, 1))
+        assert bd.overlapped_gradient_comm == 0.0
+        assert bd.comm_time == pytest.approx(bd.total_comm_time)
+
+    def test_iteration_decomposition(self, t5_nodes):
+        bd = CostModel(Mesh(2, 8)).estimate(plan_for(t5_nodes, MEGATRON, 8))
+        assert bd.iteration_time == pytest.approx(bd.compute_time + bd.comm_time)
+        d = bd.as_dict()
+        assert d["iteration_time"] == pytest.approx(bd.iteration_time)
+
+    def test_backward_compute_factor(self, t5_nodes):
+        bd = CostModel(Mesh(2, 8)).estimate(plan_for(t5_nodes, {}, 1))
+        assert bd.backward_compute == pytest.approx(2 * bd.forward_compute)
+
+
+class TestPackingInteraction:
+    def test_packing_reduces_buckets_and_time(self, t5_nodes):
+        routed = plan_for(t5_nodes, {}, 1)
+        mesh = Mesh(2, 8)
+        packed = CostModel(mesh, CostConfig()).estimate(routed)
+        unpacked = CostModel(
+            mesh, CostConfig(packing=PackingConfig(enabled=False))
+        ).estimate(routed)
+        assert packed.num_gradient_buckets < unpacked.num_gradient_buckets
+        assert packed.gradient_comm < unpacked.gradient_comm
+
+
+class TestObjectives:
+    def test_comm_objective(self, t5_nodes):
+        routed = plan_for(t5_nodes, FFN_ONLY, 8)
+        mesh = Mesh(2, 8)
+        cost = plan_cost(routed, mesh, CostConfig(objective="comm"))
+        bd = CostModel(mesh).estimate(routed)
+        assert cost == pytest.approx(bd.comm_time)
+
+    def test_time_objective_larger(self, t5_nodes):
+        routed = plan_for(t5_nodes, FFN_ONLY, 8)
+        mesh = Mesh(2, 8)
+        t_comm = plan_cost(routed, mesh, CostConfig(objective="comm"))
+        t_time = plan_cost(routed, mesh, CostConfig(objective="time"))
+        assert t_time > t_comm
+
+    def test_batch_scaling_monotone(self, t5_nodes):
+        routed = plan_for(t5_nodes, MEGATRON, 8)
+        mesh = Mesh(2, 8)
+        small = CostModel(mesh, CostConfig(batch_tokens=1024)).estimate(routed)
+        big = CostModel(mesh, CostConfig(batch_tokens=8192)).estimate(routed)
+        assert big.forward_comm > small.forward_comm
+        assert big.forward_compute > small.forward_compute

@@ -1,0 +1,109 @@
+"""Tests for GraphNode coarsening."""
+
+import pytest
+
+from repro.graph import Graph, GraphError, OpType, TensorSpec, trim_auxiliary
+from repro.core import NodeGraph, coarsen
+from repro.core.graphnode import GraphNode
+from repro.models import TransformerConfig, build_t5
+
+
+@pytest.fixture(scope="module")
+def t5_small_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+class TestCoarsen:
+    def test_rejects_untrimmed(self):
+        g = build_t5(TransformerConfig(encoder_layers=1, decoder_layers=1))
+        with pytest.raises(GraphError, match="trimmed"):
+            coarsen(g)
+
+    def test_dense_layer_fuses(self, t5_small_nodes):
+        node = t5_small_nodes.node("t5/encoder/layer_0/ffn/intermediate")
+        types = [op.op_type for op in node.ops]
+        assert OpType.MATMUL in types and OpType.GELU in types
+        assert node.kind == OpType.MATMUL
+
+    def test_weight_node_count_matches_weights(self, t5_small_nodes):
+        g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+        trimmed, _ = trim_auxiliary(g)
+        total_weights = sum(1 for op in trimmed if op.has_weight)
+        covered = sum(len(n.weights) for n in t5_small_nodes)
+        assert covered == total_weights
+
+    def test_interleaved_scope_splits_into_runs(self, t5_small_nodes):
+        # residual adds at layer scope are split into separate runs
+        assert "t5/encoder/layer_0" in t5_small_nodes
+        assert "t5/encoder/layer_0#1" in t5_small_nodes
+
+    def test_topo_order_valid(self, t5_small_nodes):
+        order = t5_small_nodes.topo_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for node in t5_small_nodes:
+            for src in node.inputs:
+                assert pos[src] < pos[node.name]
+
+    def test_compression(self, t5_small_nodes):
+        g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+        trimmed, _ = trim_auxiliary(g)
+        assert len(t5_small_nodes) < len(trimmed)
+
+
+class TestGraphNode:
+    def test_kind_prefers_heaviest_weight(self):
+        ops = [
+            __import__("repro.graph", fromlist=["Operator"]).Operator(
+                name="a/ln", op_type=OpType.LAYERNORM, weight=TensorSpec((2, 4))
+            ),
+            __import__("repro.graph", fromlist=["Operator"]).Operator(
+                name="a/mm", op_type=OpType.MATMUL, weight=TensorSpec((64, 64))
+            ),
+        ]
+        node = GraphNode(name="a", ops=ops)
+        assert node.kind == OpType.MATMUL
+
+    def test_signature_name_free(self, t5_small_nodes):
+        a = t5_small_nodes.node("t5/encoder/layer_0/mha/q")
+        b = t5_small_nodes.node("t5/encoder/layer_1/mha/q")
+        assert a.signature() == b.signature()
+
+    def test_output_spec_is_last_producing_op(self, t5_small_nodes):
+        node = t5_small_nodes.node("t5/encoder/layer_0/ffn/intermediate")
+        assert node.output_spec.shape == (-1, 4096)
+
+    def test_num_parameters(self, t5_small_nodes):
+        q = t5_small_nodes.node("t5/encoder/layer_0/mha/q")
+        assert q.num_parameters == 1024 * 1024
+
+
+class TestNodeGraph:
+    def test_duplicate_rejected(self):
+        ng = NodeGraph()
+        ng.add(GraphNode(name="a"))
+        with pytest.raises(GraphError):
+            ng.add(GraphNode(name="a"))
+
+    def test_unknown_input_rejected(self):
+        ng = NodeGraph()
+        with pytest.raises(GraphError):
+            ng.add(GraphNode(name="b", inputs=("ghost",)))
+
+    def test_roots_leaves(self, t5_small_nodes):
+        roots = {n.name for n in t5_small_nodes.roots()}
+        assert "t5" in roots or any("input" in r for r in roots)
+        assert len(t5_small_nodes.leaves()) >= 1
+
+    def test_subgraph_boundary(self, t5_small_nodes):
+        members = [
+            n.name for n in t5_small_nodes if "encoder/layer_0" in n.name
+        ]
+        sub = t5_small_nodes.subgraph(members)
+        assert len(sub) == len(members)
+        sub.topo_order()
+
+    def test_consumers(self, t5_small_nodes):
+        consumers = t5_small_nodes.consumers("t5/encoder/layer_0/mha/q")
+        assert consumers, "q projection must feed the attention inner node"

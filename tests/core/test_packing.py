@@ -1,0 +1,101 @@
+"""Tests for gradient packing (§4.7.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PackingConfig, pack_gradients
+
+
+class TestConfig:
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            PackingConfig(mu=-1)
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            PackingConfig(chunk_bytes=0)
+
+    def test_mu_above_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            PackingConfig(mu=100, chunk_bytes=50)
+
+
+class TestPacking:
+    def test_small_packets_fuse(self):
+        cfg = PackingConfig(mu=100, chunk_bytes=1000)
+        buckets = pack_gradients([10, 20, 30], cfg)
+        assert len(buckets) == 1
+        assert buckets[0].nbytes == 60
+        assert buckets[0].num_tensors == 3
+
+    def test_mu_sized_packets_flush_eagerly(self):
+        cfg = PackingConfig(mu=100, chunk_bytes=1000)
+        buckets = pack_gradients([500, 10, 20, 600], cfg)
+        # 500 >= mu flushes at once; 10+20+600 reach mu together
+        assert [b.nbytes for b in buckets] == [500, 630]
+
+    def test_oversized_packet_travels_alone(self):
+        cfg = PackingConfig(mu=100, chunk_bytes=1000)
+        buckets = pack_gradients([50, 5000, 60], cfg)
+        assert [b.nbytes for b in buckets] == [50, 5000, 60]
+
+    def test_chunk_cap_respected(self):
+        cfg = PackingConfig(mu=100, chunk_bytes=150)
+        buckets = pack_gradients([60, 60, 60, 60], cfg)
+        assert all(b.nbytes <= 150 for b in buckets)
+        assert len(buckets) == 2
+
+    def test_disabled_passthrough(self):
+        cfg = PackingConfig(enabled=False)
+        buckets = pack_gradients([5, 10, 15], cfg)
+        assert [b.nbytes for b in buckets] == [5, 10, 15]
+
+    def test_empty_stream(self):
+        assert pack_gradients([], PackingConfig()) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pack_gradients([-1], PackingConfig())
+
+    def test_packing_reduces_bucket_count(self):
+        """The whole point: many tiny gradients collapse into few buckets."""
+        sizes = [256] * 1000 + [8 << 20] * 4
+        packed = pack_gradients(sizes, PackingConfig(mu=4 << 20, chunk_bytes=32 << 20))
+        unpacked = pack_gradients(sizes, PackingConfig(enabled=False))
+        assert len(packed) < len(unpacked) / 100
+
+
+@given(
+    sizes=st.lists(st.integers(0, 1 << 22), max_size=200),
+    mu=st.integers(0, 1 << 21),
+    chunk=st.integers(1 << 21, 1 << 24),
+)
+def test_conservation_and_bounds(sizes, mu, chunk):
+    cfg = PackingConfig(mu=mu, chunk_bytes=chunk)
+    buckets = pack_gradients(sizes, cfg)
+    # conservation: no gradient bytes created or lost
+    assert sum(b.nbytes for b in buckets) == sum(sizes)
+    assert sum(b.num_tensors for b in buckets) == len(sizes)
+    # no *fused* bucket exceeds the chunk cap
+    for b in buckets:
+        if b.num_tensors > 1:
+            assert b.nbytes <= chunk
+
+
+@given(sizes=st.lists(st.integers(1, 1000), min_size=1, max_size=50))
+def test_order_preserved(sizes):
+    """Bucket boundaries respect arrival order (required for pipelining)."""
+    cfg = PackingConfig(mu=100, chunk_bytes=500)
+    buckets = pack_gradients(sizes, cfg)
+    # reconstruct a flattened view of per-bucket totals and match greedily
+    i = 0
+    for b in buckets:
+        total = 0
+        count = 0
+        while count < b.num_tensors:
+            total += sizes[i]
+            i += 1
+            count += 1
+        assert total == b.nbytes
+    assert i == len(sizes)

@@ -1,0 +1,133 @@
+"""Tests for SRC sharding patterns and layout conversions."""
+
+import pytest
+
+from repro.graph import Operator, OpType, TensorSpec
+from repro.core import (
+    CONVERSIONS,
+    DEFAULT_REGISTRY,
+    InvalidTransition,
+    Layout,
+    PatternRegistry,
+    ShardingPattern,
+    conversion_comm,
+)
+from repro.core.graphnode import GraphNode
+from repro.core.patterns import BACKWARD_MIRROR
+from repro.graph import REPLICATE, split_spec
+
+
+def matmul_node(in_dim=64, out_dim=128, name="fc"):
+    op = Operator(
+        name=f"{name}/matmul",
+        op_type=OpType.MATMUL,
+        output=TensorSpec((-1, out_dim)),
+        weight=TensorSpec((in_dim, out_dim)),
+    )
+    return GraphNode(name=name, ops=[op])
+
+
+class TestConversions:
+    def test_identity_hops_free(self):
+        for layout in Layout.ALL[:-1]:  # D, R, S
+            fwd, bwd = conversion_comm(layout, layout)
+            assert fwd is None and bwd is None
+
+    def test_partial_resolution(self):
+        assert conversion_comm("P", "R") == ("all_reduce", None)
+        assert conversion_comm("P", "D") == ("reduce_scatter", "all_gather")
+        assert conversion_comm("P", "S") == ("reduce_scatter", "all_gather")
+
+    def test_dp_to_tp_boundary(self):
+        assert conversion_comm("D", "R") == ("all_gather", "reduce_scatter")
+
+    def test_free_slices_have_backward_comms(self):
+        # a forward slice means gradients must be gathered in backward
+        fwd, bwd = conversion_comm("R", "D")
+        assert fwd is None and bwd == "all_gather"
+        fwd, bwd = conversion_comm("R", "S")
+        assert fwd is None and bwd == "all_gather"
+
+    def test_unroutable_transitions(self):
+        for src, dst in (("P", "P"), ("D", "P"), ("R", "P"), ("S", "P")):
+            with pytest.raises(InvalidTransition):
+                conversion_comm(src, dst)
+
+    def test_tables_aligned(self):
+        assert set(CONVERSIONS) == set(BACKWARD_MIRROR)
+
+
+class TestApplicability:
+    def test_split_col_requires_divisibility(self):
+        node = matmul_node(out_dim=100)
+        p = DEFAULT_REGISTRY.lookup(OpType.MATMUL, "split_col")
+        assert p.applicable(node, 4)
+        assert not p.applicable(node, 8)  # 100 % 8 != 0
+
+    def test_replicate_always_applicable(self):
+        node = matmul_node(out_dim=97)
+        p = DEFAULT_REGISTRY.lookup(OpType.MATMUL, "replicate")
+        assert p.applicable(node, 16)
+
+    def test_tp1_only_replicate(self):
+        node = matmul_node()
+        options = DEFAULT_REGISTRY.options(node, 1)
+        assert [p.name for p in options] == ["replicate"]
+
+    def test_matmul_has_three_options(self):
+        """The paper's 3 choices per 2-D weight tensor."""
+        node = matmul_node()
+        options = DEFAULT_REGISTRY.options(node, 4)
+        assert sorted(p.name for p in options) == [
+            "replicate",
+            "split_col",
+            "split_row",
+        ]
+
+    def test_unknown_kind_falls_back_to_replicate(self):
+        op = Operator(name="x/topk", op_type=OpType.TOP_K, weight=TensorSpec((4,)))
+        node = GraphNode(name="x", ops=[op])
+        options = DEFAULT_REGISTRY.options(node, 4)
+        assert [p.name for p in options] == ["replicate"]
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        reg = PatternRegistry()
+        p = ShardingPattern("replicate", "matmul", REPLICATE, "D", "D")
+        reg.register(p)
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.register(p)
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            DEFAULT_REGISTRY.lookup(OpType.MATMUL, "split_diagonal")
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError, match="bad layout"):
+            ShardingPattern("x", "matmul", REPLICATE, "Q", "D")
+
+    def test_split_pattern_exposes_axis(self):
+        p = DEFAULT_REGISTRY.lookup(OpType.MATMUL, "split_row")
+        assert p.weight_split_axis == 0
+        assert not p.is_replicate
+
+
+class TestMegatronConjugates:
+    """The f/g conjugate operator pair of Megatron-LM falls out of the rules."""
+
+    def test_column_parallel_has_backward_allreduce(self):
+        p = DEFAULT_REGISTRY.lookup(OpType.MATMUL, "split_col")
+        assert ("all_reduce", "input") in p.backward_tp_comms
+        assert p.input_layout == Layout.R and p.output_layout == Layout.S
+
+    def test_row_parallel_produces_partial(self):
+        p = DEFAULT_REGISTRY.lookup(OpType.MATMUL, "split_row")
+        assert p.output_layout == Layout.P
+        assert not p.backward_tp_comms
+
+    def test_expert_parallel_uses_all_to_all(self):
+        p = DEFAULT_REGISTRY.lookup(OpType.BATCH_MATMUL, "split_expert")
+        fwd = [c for c, _ in p.forward_tp_comms]
+        assert fwd == ["all_to_all", "all_to_all"]
+        assert p.input_layout == Layout.D and p.output_layout == Layout.D

@@ -1,0 +1,101 @@
+"""Unit tests for the plan data structures (ShardingPlan, CommEvent, RoutedPlan)."""
+
+import pytest
+
+from repro.core import CommEvent, NodeShard, RoutedPlan, ShardingPlan
+from repro.graph import TensorSpec
+
+
+class TestShardingPlan:
+    def test_of_and_dict_roundtrip(self):
+        plan = ShardingPlan.of({"b": "split_col", "a": "replicate"}, 4)
+        assert plan.as_dict == {"a": "replicate", "b": "split_col"}
+        # assignments are sorted for stable equality
+        assert plan == ShardingPlan.of({"a": "replicate", "b": "split_col"}, 4)
+
+    def test_pattern_for_defaults_to_replicate(self):
+        plan = ShardingPlan.of({"x": "split_row"}, 2)
+        assert plan.pattern_for("x") == "split_row"
+        assert plan.pattern_for("unknown") == "replicate"
+
+    def test_num_sharded_ignores_replicate(self):
+        plan = ShardingPlan.of({"a": "replicate", "b": "split_col"}, 2)
+        assert plan.num_sharded == 1
+
+    def test_invalid_tp(self):
+        with pytest.raises(ValueError):
+            ShardingPlan.of({}, 0)
+
+    def test_describe_pure_dp(self):
+        assert "data parallel" in ShardingPlan.of({}, 1).describe()
+
+    def test_describe_small_plan_lists_nodes(self):
+        plan = ShardingPlan.of({"enc/q": "split_col"}, 8)
+        assert "enc/q:split_col" in plan.describe()
+
+    def test_describe_large_plan_summarises(self):
+        assignment = {f"layer_{i}/ffn/up": "split_col" for i in range(12)}
+        text = ShardingPlan.of(assignment, 8).describe()
+        assert "x12" in text
+        assert "layer_3" not in text  # no per-node spam
+
+    def test_hashable(self):
+        a = ShardingPlan.of({"x": "split_col"}, 2)
+        b = ShardingPlan.of({"x": "split_col"}, 2)
+        assert len({a, b}) == 1
+
+
+class TestCommEvent:
+    def test_validation(self):
+        spec = TensorSpec((-1, 4))
+        with pytest.raises(ValueError, match="phase"):
+            CommEvent("sideways", "all_reduce", "tp", spec, True, "n")
+        with pytest.raises(ValueError, match="axis"):
+            CommEvent("forward", "all_reduce", "diagonal", spec, True, "n")
+
+    def test_nbytes_scales_with_batch(self):
+        ev = CommEvent("forward", "all_gather", "tp", TensorSpec((-1, 4)), True, "n")
+        assert ev.nbytes(10) == 10 * 4 * 4
+        assert ev.nbytes(20) == 2 * ev.nbytes(10)
+
+    def test_nbytes_fixed_for_weights(self):
+        ev = CommEvent(
+            "backward", "all_reduce", "dp", TensorSpec((8,)), False, "n",
+            overlappable=True,
+        )
+        assert ev.nbytes(10) == ev.nbytes(1000) == 32
+
+
+class TestRoutedPlan:
+    def _routed(self):
+        plan = ShardingPlan.of({}, 2)
+        routed = RoutedPlan(plan=plan)
+        spec = TensorSpec((-1, 4))
+        a = NodeShard(name="a", kind="matmul", pattern="replicate",
+                      input_layout="D", output_layout="D",
+                      local_weight_bytes=16, local_parameters=4)
+        a.events.append(CommEvent("forward", "all_gather", "tp", spec, True, "a"))
+        b = NodeShard(name="b", kind="add", pattern="follow",
+                      input_layout="D", output_layout="D",
+                      local_weight_bytes=8, local_parameters=2)
+        b.events.append(
+            CommEvent("backward", "all_reduce", "all", spec, False, "b",
+                      overlappable=True)
+        )
+        routed.shards = {"a": a, "b": b}
+        routed.order = ["a", "b"]
+        return routed
+
+    def test_events_filtering(self):
+        routed = self._routed()
+        assert len(routed.events()) == 2
+        assert len(routed.events("forward")) == 1
+        assert routed.events("backward")[0].overlappable
+
+    def test_totals(self):
+        routed = self._routed()
+        assert routed.total_local_weight_bytes() == 24
+        assert routed.total_local_parameters() == 6
+
+    def test_tp_degree_proxy(self):
+        assert self._routed().tp_degree == 2

@@ -1,0 +1,135 @@
+"""Tests for Algorithm 1 (graph pruning via shared subgraphs)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import trim_auxiliary
+from repro.core import coarsen, prune_graph
+from repro.models import (
+    MoEConfig,
+    TransformerConfig,
+    build_moe_transformer,
+    build_t5,
+    build_wav2vec,
+    t5_with_depth,
+)
+
+
+def nodes_for(graph):
+    trimmed, _ = trim_auxiliary(graph)
+    return coarsen(trimmed)
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    return nodes_for(build_t5(TransformerConfig(encoder_layers=6, decoder_layers=6)))
+
+
+class TestPruneBasics:
+    def test_finds_encoder_and_decoder_families(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        mult = sorted(f.multiplicity for f in r.families)
+        assert mult == [6, 6]
+
+    def test_threshold_one_disables_pruning(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=1)
+        assert not r.families
+        assert r.nodes_after == r.nodes_before
+
+    def test_families_cover_disjoint_nodes(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        seen = set()
+        for f in r.families:
+            for inst in f.member_nodes:
+                for n in inst:
+                    assert n not in seen
+                    seen.add(n)
+
+    def test_covered_plus_uncovered_is_total(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        covered = sum(f.covered_nodes for f in r.families)
+        assert covered + len(r.uncovered) == r.nodes_before
+
+    def test_instances_structurally_identical(self, t5_nodes):
+        from repro.core.pruning import _block_fingerprint
+
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        for f in r.families:
+            fps = {_block_fingerprint(t5_nodes, inst) for inst in f.member_nodes}
+            assert len(fps) == 1
+
+    def test_compression_substantial(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        assert r.compression > 3
+
+    def test_runtime_recorded(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=2)
+        assert r.runtime_seconds > 0
+
+    def test_describe_mentions_families(self, t5_nodes):
+        text = prune_graph(t5_nodes, min_duplicate=2).describe()
+        assert "instances" in text and "search space" in text
+
+
+class TestThresholdRobustness:
+    """Fig. 7: the number of unique subgraphs is stable across thresholds."""
+
+    def test_stable_family_count(self, t5_nodes):
+        counts = {
+            k: len(prune_graph(t5_nodes, min_duplicate=k).families)
+            for k in range(2, 7)
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_high_threshold_drops_families(self, t5_nodes):
+        r = prune_graph(t5_nodes, min_duplicate=7)  # layers repeat only 6x
+        assert not any(f.multiplicity >= 7 for f in r.families)
+
+
+class TestMultiFamilyModels:
+    def test_wav2vec_has_conv_and_transformer_families(self):
+        r = prune_graph(nodes_for(build_wav2vec()), min_duplicate=2)
+        norm_names = {f.normalized.split("/")[-1] for f in r.families}
+        assert any("layer" in n for n in norm_names)
+        assert any("conv" in n for n in norm_names)
+
+    def test_interleaved_moe_yields_two_layer_families(self):
+        g = build_moe_transformer(
+            MoEConfig(num_layers=8, num_experts=4, moe_every=2, hidden=64,
+                      ffn_dim=128, num_heads=4)
+        )
+        r = prune_graph(nodes_for(g), min_duplicate=2)
+        layer_fams = [f for f in r.families if f.normalized.endswith("layer")]
+        assert len(layer_fams) == 2
+        assert sorted(f.multiplicity for f in layer_fams) == [4, 4]
+
+
+class TestScaling:
+    def test_search_space_independent_of_depth(self):
+        """The pruned space must not grow with layer count (sublinearity)."""
+        small = prune_graph(nodes_for(t5_with_depth(4, hidden=64, ffn=128)), 2)
+        large = prune_graph(nodes_for(t5_with_depth(12, hidden=64, ffn=128)), 2)
+        assert large.nodes_after == small.nodes_after
+        assert large.nodes_before > small.nodes_before
+
+
+@given(depth=st.sampled_from([2, 3, 4]), min_dup=st.integers(2, 5))
+@settings(max_examples=8, deadline=None)
+def test_prune_invariants_random_configs(depth, min_dup):
+    ng = nodes_for(
+        build_t5(
+            TransformerConfig(
+                encoder_layers=depth, decoder_layers=depth, hidden=64,
+                ffn_dim=128, num_heads=4, vocab=128,
+            )
+        )
+    )
+    r = prune_graph(ng, min_duplicate=min_dup)
+    # every family clears the threshold
+    assert all(f.multiplicity >= min_dup for f in r.families)
+    # pruning never grows the search space
+    assert r.nodes_after <= r.nodes_before
+    # covered + uncovered == total
+    covered = sum(f.covered_nodes for f in r.families)
+    assert covered + len(r.uncovered) == r.nodes_before

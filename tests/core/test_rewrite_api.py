@@ -1,0 +1,131 @@
+"""Tests for graph rewriting (§4.7) and the public API."""
+
+import pytest
+
+import repro as tap
+from repro.cluster import Mesh
+from repro.graph import COMM_OP_TYPES, OpType, trim_auxiliary
+from repro.core import (
+    DEFAULT_REGISTRY,
+    ShardingPlan,
+    coarsen,
+    rewrite_graph,
+    route_plan,
+)
+from repro.models import TransformerConfig, build_t5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+    trimmed, record = trim_auxiliary(g)
+    ng = coarsen(trimmed)
+    mapping = {
+        n.name: ("split_col" if n.name.endswith("ffn/intermediate") else "split_row")
+        for n in ng.weight_nodes()
+        if n.name.endswith(("ffn/intermediate", "ffn/output"))
+    }
+    routed = route_plan(ng, ShardingPlan.of(mapping, 8), DEFAULT_REGISTRY)
+    return g, trimmed, record, ng, routed
+
+
+class TestRewrite:
+    def test_comm_ops_inserted(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed, trim_record=record)
+        comm = [op for op in result.graph if op.op_type in COMM_OP_TYPES]
+        assert len(comm) == result.num_comm_ops > 0
+
+    def test_one_allgather_per_layer(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        ag = [op for op in result.graph if op.op_type == OpType.ALL_GATHER]
+        rs = [op for op in result.graph if op.op_type == OpType.REDUCE_SCATTER]
+        assert len(ag) == 4  # one per FFN entry, 4 layers total
+        assert len(rs) == 4  # one per FFN exit
+
+    def test_weights_narrowed(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        inter = result.graph.op("t5/encoder/layer_0/ffn/intermediate/matmul")
+        assert inter.weight.shape == (1024, 512)  # 4096 / 8
+        out = result.graph.op("t5/encoder/layer_0/ffn/output/matmul")
+        assert out.weight.shape == (512, 1024)
+
+    def test_bias_follows_kernel_split(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        bias = result.graph.op("t5/encoder/layer_0/ffn/intermediate/bias_add")
+        assert bias.weight.shape == (512,)
+
+    def test_replicated_weights_untouched(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        q = result.graph.op("t5/encoder/layer_0/mha/q/matmul")
+        assert q.weight.shape == (1024, 1024)
+
+    def test_aux_restored(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed, trim_record=record)
+        assert any(op.is_auxiliary for op in result.graph)
+        result.graph.validate()
+
+    def test_rewritten_graph_valid_dag(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        result.graph.validate()
+
+    def test_consumers_rewired_through_comm(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        # the FFN intermediate matmul must consume the all_gather output
+        inter = result.graph.op("t5/encoder/layer_0/ffn/intermediate/matmul")
+        producers = [result.graph.op(i).op_type for i in inter.inputs]
+        assert OpType.ALL_GATHER in producers
+
+    def test_gradient_buckets_computed(self, setup):
+        _, trimmed, record, ng, routed = setup
+        result = rewrite_graph(trimmed, ng, routed)
+        assert result.num_gradient_buckets > 0
+        total = sum(b.num_tensors for b in result.gradient_buckets)
+        trainable_nodes = [
+            s for s in routed.shards.values() if s.local_parameters > 0
+        ]
+        assert total == len(trainable_nodes)
+
+
+class TestPublicAPI:
+    def test_split_from_list(self):
+        mesh = tap.split([2, 8])
+        assert mesh.shape == (2, 8)
+
+    def test_split_passthrough(self):
+        m = Mesh(1, 4)
+        assert tap.split(m) is m
+
+    def test_split_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            tap.split([2, 8, 1])
+
+    def test_auto_parallel_end_to_end(self):
+        model = build_t5(
+            TransformerConfig(encoder_layers=2, decoder_layers=2, hidden=256,
+                              ffn_dim=1024, num_heads=4, vocab=1024)
+        )
+        result = tap.auto_parallel(model, [2, 4])
+        assert result.tp_degree in (1, 4, 8)
+        assert result.graph is not None
+        result.graph.validate()
+        text = result.describe()
+        assert "candidates examined" in text
+        assert result.estimated_iteration_time > 0
+
+    def test_auto_parallel_single_device(self):
+        model = build_t5(
+            TransformerConfig(encoder_layers=1, decoder_layers=1, hidden=64,
+                              ffn_dim=128, num_heads=4, vocab=256)
+        )
+        result = tap.auto_parallel(model, [1, 1])
+        assert result.plan.num_sharded == 0
+        # rewritten graph of a DP plan has no communication ops
+        assert result.rewrite.num_comm_ops == 0

@@ -1,0 +1,134 @@
+"""Tests for the name-scope trie and LCP clustering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import (
+    build_scope_tree,
+    group_sibling_scopes,
+    longest_common_prefix,
+    max_depth,
+    normalize_scope,
+    scopes_at_depth,
+)
+
+
+NAMES = [
+    "model/encoder/layer_0/mha/q/matmul",
+    "model/encoder/layer_0/mha/k/matmul",
+    "model/encoder/layer_0/ffn/up/matmul",
+    "model/encoder/layer_1/mha/q/matmul",
+    "model/encoder/layer_1/mha/k/matmul",
+    "model/encoder/layer_1/ffn/up/matmul",
+    "model/head/logits/matmul",
+]
+
+
+class TestScopeTree:
+    def test_tree_shape(self):
+        root = build_scope_tree(NAMES)
+        assert set(root.children) == {"model"}
+        enc = root.find("model/encoder")
+        assert enc is not None
+        assert set(enc.children) == {"layer_0", "layer_1"}
+
+    def test_sizes(self):
+        root = build_scope_tree(NAMES)
+        assert root.size == len(NAMES)
+        assert root.find("model/encoder/layer_0").size == 3
+        assert root.find("model/head").size == 1
+
+    def test_ops_live_at_their_scope(self):
+        root = build_scope_tree(NAMES)
+        q = root.find("model/encoder/layer_0/mha/q")
+        assert q.ops == ["model/encoder/layer_0/mha/q/matmul"]
+
+    def test_all_op_names_complete(self):
+        root = build_scope_tree(NAMES)
+        assert sorted(root.all_op_names()) == sorted(NAMES)
+
+    def test_find_missing(self):
+        root = build_scope_tree(NAMES)
+        assert root.find("model/decoder") is None
+        assert root.find("") is root
+
+    def test_scopes_at_depth(self):
+        root = build_scope_tree(NAMES)
+        depth3 = {n.path for n in scopes_at_depth(root, 3)}
+        assert depth3 == {
+            "model/encoder/layer_0",
+            "model/encoder/layer_1",
+            "model/head/logits",
+        }
+
+    def test_max_depth(self):
+        assert max_depth(build_scope_tree(NAMES)) == 5
+        assert max_depth(build_scope_tree([])) == 0
+
+
+class TestLCP:
+    def test_component_wise(self):
+        assert longest_common_prefix(["a/bc/x", "a/bd/x"]) == "a"
+
+    def test_full_match(self):
+        assert longest_common_prefix(["a/b", "a/b"]) == "a/b"
+
+    def test_no_common(self):
+        assert longest_common_prefix(["a/x", "b/x"]) == ""
+
+    def test_empty(self):
+        assert longest_common_prefix([]) == ""
+
+    def test_single(self):
+        assert longest_common_prefix(["a/b/c"]) == "a/b/c"
+
+
+class TestNormalize:
+    def test_strips_trailing_index(self):
+        assert normalize_scope("enc/layer_3") == "enc/layer"
+        assert normalize_scope("enc/block3") == "enc/block"
+        assert normalize_scope("enc/expert-07") == "enc/expert"
+
+    def test_leaves_non_indexed(self):
+        assert normalize_scope("enc/mha") == "enc/mha"
+        assert normalize_scope("") == ""
+
+    def test_pure_number_component_untouched(self):
+        # "enc/3" has no alphabetic base; stripping would merge unrelated scopes
+        assert normalize_scope("enc/3") == "enc/3"
+
+    def test_group_siblings(self):
+        root = build_scope_tree(NAMES)
+        layers = [n for n in scopes_at_depth(root, 3) if "layer" in n.path]
+        groups = group_sibling_scopes(layers)
+        assert list(groups) == ["model/encoder/layer"]
+        assert len(groups["model/encoder/layer"]) == 2
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abc", min_size=1, max_size=3),
+        min_size=1,
+        max_size=5,
+    ).map(lambda parts: "/".join(parts))
+)
+def test_lcp_is_prefix_of_every_name(path):
+    names = [path, path + "/tail", path]
+    lcp = longest_common_prefix(names)
+    for n in names:
+        assert n == lcp or n.startswith(lcp + "/") or lcp == ""
+
+
+@given(
+    st.lists(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=4).map(
+            lambda p: "/".join(p)
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_scope_tree_roundtrip(names):
+    root = build_scope_tree(names)
+    # multiset equality: the trie loses nothing
+    assert sorted(root.all_op_names()) == sorted(names)

@@ -1,0 +1,75 @@
+"""Unit tests for ShardSpec layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import PARTIAL, REPLICATE, ShardKind, ShardSpec, TensorSpec, split_spec
+
+
+class TestShardSpecConstruction:
+    def test_split_requires_axis(self):
+        with pytest.raises(ValueError):
+            ShardSpec(ShardKind.SPLIT)
+
+    def test_split_rejects_negative_axis(self):
+        with pytest.raises(ValueError):
+            ShardSpec(ShardKind.SPLIT, -1)
+
+    def test_replicate_rejects_axis(self):
+        with pytest.raises(ValueError):
+            ShardSpec(ShardKind.REPLICATE, 0)
+
+    def test_predicates(self):
+        assert REPLICATE.is_replicate and not REPLICATE.is_split
+        assert PARTIAL.is_partial
+        s = split_spec(1)
+        assert s.is_split and s.axis == 1
+
+    def test_singletons_hashable_and_equal(self):
+        assert split_spec(0) == split_spec(0)
+        assert split_spec(0) != split_spec(1)
+        assert len({REPLICATE, PARTIAL, split_spec(0), split_spec(0)}) == 3
+
+
+class TestLocalSpec:
+    def test_replicate_keeps_shape(self):
+        full = TensorSpec((8, 4))
+        assert REPLICATE.local_spec(full, 4).shape == (8, 4)
+
+    def test_partial_keeps_shape(self):
+        full = TensorSpec((8, 4))
+        assert PARTIAL.local_spec(full, 4).shape == (8, 4)
+
+    def test_split_divides(self):
+        full = TensorSpec((8, 4))
+        assert split_spec(0).local_spec(full, 4).shape == (2, 4)
+        assert split_spec(1).local_spec(full, 2).shape == (8, 2)
+
+    def test_num_shards_must_be_positive(self):
+        with pytest.raises(ValueError):
+            REPLICATE.local_spec(TensorSpec((4,)), 0)
+
+    def test_compatibility(self):
+        full = TensorSpec((8, 6))
+        assert split_spec(1).compatible_with(full, 3)
+        assert not split_spec(1).compatible_with(full, 4)
+        assert REPLICATE.compatible_with(full, 100)
+
+    def test_incompatible_split_raises(self):
+        with pytest.raises(ValueError):
+            split_spec(1).local_spec(TensorSpec((8, 6)), 4)
+
+
+@given(
+    dims=st.lists(st.sampled_from([1, 2, 4, 8, 16, 64]), min_size=1, max_size=4),
+    shards=st.sampled_from([1, 2, 4, 8]),
+    axis_seed=st.integers(0, 3),
+)
+def test_split_local_bytes_scale(dims, shards, axis_seed):
+    """Local bytes of a split are exactly full_bytes / shards when divisible."""
+    full = TensorSpec(tuple(dims))
+    axis = axis_seed % full.rank
+    spec = split_spec(axis)
+    if spec.compatible_with(full, shards):
+        assert spec.local_bytes(full, shards) * shards == full.size_bytes

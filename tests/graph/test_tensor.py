@@ -1,0 +1,112 @@
+"""Unit tests for TensorSpec and dtype machinery."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import DType, TensorSpec, total_bytes
+
+
+class TestDType:
+    def test_size_of_known(self):
+        assert DType.size_of("float32") == 4
+        assert DType.size_of("float16") == 2
+        assert DType.size_of("int64") == 8
+
+    def test_size_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DType.size_of("float8")
+
+
+class TestTensorSpec:
+    def test_basic_sizes(self):
+        t = TensorSpec((4, 8), DType.FLOAT32)
+        assert t.rank == 2
+        assert t.num_elements == 32
+        assert t.size_bytes == 128
+
+    def test_list_shape_coerced_to_tuple(self):
+        t = TensorSpec([2, 3])
+        assert t.shape == (2, 3)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 0))
+
+    def test_negative_dim_other_than_symbolic_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, -2))
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4,), "float8")
+
+    def test_symbolic_batch(self):
+        t = TensorSpec((-1, 128))
+        assert t.has_symbolic_batch
+        assert t.num_elements == 128  # symbolic counted as 1
+        bound = t.with_batch(16)
+        assert bound.shape == (16, 128)
+        assert not bound.has_symbolic_batch
+
+    def test_with_batch_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TensorSpec((-1, 4)).with_batch(0)
+
+    def test_split_even(self):
+        t = TensorSpec((8, 12))
+        assert t.split(0, 4).shape == (2, 12)
+        assert t.split(1, 3).shape == (8, 4)
+
+    def test_split_negative_axis(self):
+        t = TensorSpec((8, 12))
+        assert t.split(-1, 4).shape == (8, 3)
+
+    def test_split_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((8, 12)).split(0, 3)
+
+    def test_split_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            TensorSpec((8,)).split(2, 2)
+
+    def test_split_symbolic_dim_stays_symbolic(self):
+        t = TensorSpec((-1, 12))
+        assert t.split(0, 4).shape == (-1, 12)
+
+    def test_can_split(self):
+        t = TensorSpec((8, 9))
+        assert t.can_split(0, 4)
+        assert not t.can_split(1, 4)
+        assert not t.can_split(5, 2)
+
+    def test_frozen(self):
+        t = TensorSpec((4,))
+        with pytest.raises(Exception):
+            t.dtype = "float16"
+
+    def test_total_bytes(self):
+        specs = [TensorSpec((4,), "float32"), TensorSpec((2,), "float64")]
+        assert total_bytes(specs) == 16 + 16
+
+
+@given(
+    shape=st.lists(st.integers(1, 64), min_size=1, max_size=4),
+    parts=st.integers(1, 8),
+    axis_seed=st.integers(0, 3),
+)
+def test_split_conserves_elements(shape, parts, axis_seed):
+    """A successful split always divides element count exactly by parts."""
+    t = TensorSpec(tuple(shape))
+    axis = axis_seed % t.rank
+    if t.can_split(axis, parts):
+        shard = t.split(axis, parts)
+        assert shard.num_elements * parts == t.num_elements
+
+
+@given(shape=st.lists(st.integers(1, 32), min_size=1, max_size=4))
+def test_size_bytes_matches_prod(shape):
+    t = TensorSpec(tuple(shape), "float16")
+    assert t.size_bytes == math.prod(shape) * 2

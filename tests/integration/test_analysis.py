@@ -1,0 +1,101 @@
+"""Tests for the what-if analysis module."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PlanEvaluation,
+    compare_plans,
+    evaluate_plan,
+    render_comparison,
+    sweep,
+)
+from repro.cluster import Mesh, paper_testbed
+from repro.core import CostConfig, ShardingPlan, coarsen
+from repro.graph import trim_auxiliary
+from repro.models import TransformerConfig, build_t5
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2,
+                                   hidden=256, ffn_dim=1024, num_heads=4,
+                                   vocab=512))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+class TestEvaluatePlan:
+    def test_valid_plan(self, t5_nodes):
+        ev = evaluate_plan(t5_nodes, ShardingPlan.of({}, 1), paper_testbed(),
+                           name="dp")
+        assert ev.valid
+        assert ev.iteration_time > 0
+        assert ev.memory_gb > 0
+        assert len(ev.as_row()) == 5
+
+    def test_invalid_plan_marked(self, t5_nodes):
+        bad = ShardingPlan.of(
+            {t5_nodes.weight_nodes()[0].name: "split_diagonal"}, 4
+        )
+        ev = evaluate_plan(t5_nodes, bad, paper_testbed())
+        assert not ev.valid
+        assert math.isinf(ev.comm_cost)
+
+
+class TestComparePlans:
+    def test_includes_named_and_tap(self, t5_nodes):
+        evs = compare_plans(t5_nodes, paper_testbed(), tp_degree=4)
+        names = {e.name for e in evs}
+        assert {"dp", "mha_only", "ffn_only", "megatron", "tap"} <= names
+
+    def test_sorted_by_comm_cost(self, t5_nodes):
+        evs = compare_plans(t5_nodes, paper_testbed(), tp_degree=4)
+        costs = [e.comm_cost for e in evs]
+        assert costs == sorted(costs)
+
+    def test_tap_is_never_beaten_by_named_plans(self, t5_nodes):
+        """TAP searches a superset of the named strategies, so its pick
+        must be at least as good under its own objective."""
+        evs = compare_plans(t5_nodes, paper_testbed(), tp_degree=8)
+        by_name = {e.name: e.comm_cost for e in evs}
+        assert by_name["tap"] <= min(
+            v for k, v in by_name.items() if k != "tap"
+        ) * 1.0001
+
+    def test_extra_plans(self, t5_nodes):
+        extra = {"custom": ShardingPlan.of({}, 1)}
+        evs = compare_plans(
+            t5_nodes, paper_testbed(), tp_degree=4, include_tap=False,
+            extra_plans=extra,
+        )
+        assert any(e.name == "custom" for e in evs)
+
+    def test_render(self, t5_nodes):
+        evs = compare_plans(t5_nodes, paper_testbed(), tp_degree=4,
+                            include_tap=False)
+        text = render_comparison(evs, title="cmp")
+        assert "cmp" in text and "comm cost" in text
+
+
+class TestSweep:
+    def test_mesh_and_batch_grid(self, t5_nodes):
+        records = sweep(
+            t5_nodes,
+            {"1x4": Mesh(1, 4), "2x4": paper_testbed(2, 4)},
+            batch_tokens=(1024, 4096),
+        )
+        assert len(records) == 4
+        keys = {(r["mesh"], r["batch_tokens"]) for r in records}
+        assert keys == {("1x4", 1024), ("1x4", 4096), ("2x4", 1024),
+                        ("2x4", 4096)}
+        for r in records:
+            assert r["iteration_time"] > 0
+            assert r["tp_degree"] >= 1
+            assert "plan" in r
+
+    def test_larger_batch_takes_longer(self, t5_nodes):
+        records = sweep(t5_nodes, {"m": Mesh(1, 4)}, batch_tokens=(1024, 8192))
+        by_batch = {r["batch_tokens"]: r["iteration_time"] for r in records}
+        assert by_batch[8192] > by_batch[1024]

@@ -1,0 +1,83 @@
+"""Tests for the GraphBuilder tracing helper."""
+
+import pytest
+
+from repro.graph import OpType, TensorSpec
+from repro.models import GraphBuilder
+
+
+class TestScoping:
+    def test_nested_scopes(self):
+        b = GraphBuilder("m")
+        with b.scope("a"):
+            with b.scope("b"):
+                name = b.emit("op", OpType.INPUT, output=TensorSpec((1,)))
+        assert name == "a/b/op"
+        assert b.current_scope == ""
+
+    def test_scope_restored_on_exception(self):
+        b = GraphBuilder("m")
+        with pytest.raises(RuntimeError):
+            with b.scope("a"):
+                raise RuntimeError("boom")
+        assert b.current_scope == ""
+
+    def test_name_uniquification(self):
+        b = GraphBuilder("m")
+        n1 = b.emit("op", OpType.INPUT, output=TensorSpec((1,)))
+        n2 = b.emit("op", OpType.INPUT, output=TensorSpec((1,)))
+        n3 = b.emit("op", OpType.INPUT, output=TensorSpec((1,)))
+        assert (n1, n2, n3) == ("op", "op_1", "op_2")
+
+
+class TestAuxiliaryEmission:
+    def test_weight_gets_init_and_save(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (-1, 4))
+        b.dense("fc", x, 4, 8)
+        names = {op.name for op in b.graph}
+        assert "fc/matmul/init" in names
+        assert "fc/matmul/save" in names
+
+    def test_auxiliary_suppressed(self):
+        b = GraphBuilder("m", emit_auxiliary=False)
+        x = b.input("x", (-1, 4))
+        b.dense("fc", x, 4, 8)
+        assert all(not op.is_auxiliary for op in b.graph)
+
+
+class TestLayers:
+    def test_dense_shapes(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (-1, 4))
+        y = b.dense("fc", x, 4, 8, activation=OpType.RELU)
+        out = b.graph.op(y)
+        assert out.op_type == OpType.RELU
+        kernel = b.graph.op("fc/matmul").weight
+        assert kernel.shape == (4, 8)
+        assert b.graph.op("fc/matmul").flops == 2 * 4 * 8
+
+    def test_dense_no_bias(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (-1, 4))
+        y = b.dense("fc", x, 4, 8, use_bias=False)
+        assert b.graph.op(y).op_type == OpType.MATMUL
+
+    def test_layernorm_weight(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (-1, 4))
+        y = b.layernorm("ln", x, 4)
+        assert b.graph.op(y).weight.shape == (2, 4)
+
+    def test_embedding(self):
+        b = GraphBuilder("m")
+        ids = b.input("ids", (-1,), dtype="int32")
+        y = b.embedding("emb", ids, 100, 16)
+        assert b.graph.op(y).weight.shape == (100, 16)
+
+    def test_graph_always_valid(self):
+        b = GraphBuilder("m")
+        x = b.input("x", (-1, 4))
+        h = b.dense("a", x, 4, 4)
+        b.residual_add("res", x, h, 4)
+        b.graph.validate()

@@ -1,0 +1,98 @@
+"""Finer structural checks over individual zoo architectures."""
+
+import pytest
+
+from repro.graph import OpType, trim_auxiliary
+from repro.core import coarsen, prune_graph
+from repro.models import (
+    CLIPConfig,
+    TransformerConfig,
+    Wav2VecConfig,
+    build_clip,
+    build_gpt,
+    build_wav2vec,
+)
+
+
+class TestGPT:
+    @pytest.fixture(scope="class")
+    def gpt(self):
+        return build_gpt(
+            TransformerConfig(name="gpt", hidden=256, ffn_dim=1024,
+                              num_heads=4, encoder_layers=0, decoder_layers=6,
+                              vocab=1024, seq_len=128)
+        )
+
+    def test_decoder_only(self, gpt):
+        names = {op.name for op in gpt}
+        assert not any("/encoder/" in n for n in names)
+        assert any("/decoder/layer_5/" in n for n in names)
+
+    def test_no_cross_attention(self, gpt):
+        assert not any("cross_mha" in op.name for op in gpt)
+
+    def test_lm_head_ties_to_vocab(self, gpt):
+        head = gpt.op("gpt/head/lm_logits/matmul")
+        assert head.weight.shape == (256, 1024)
+
+    def test_family_multiplicity(self, gpt):
+        trimmed, _ = trim_auxiliary(gpt)
+        result = prune_graph(coarsen(trimmed), min_duplicate=2)
+        assert any(f.multiplicity == 6 for f in result.families)
+
+
+class TestCLIP:
+    @pytest.fixture(scope="class")
+    def clip(self):
+        return build_clip(CLIPConfig())
+
+    def test_two_towers(self, clip):
+        names = {op.name for op in clip}
+        assert any(n.startswith("clip_base/vision/") for n in names)
+        assert any(n.startswith("clip_base/text/") for n in names)
+
+    def test_towers_meet_in_similarity(self, clip):
+        sim = clip.op("clip_base/head/similarity")
+        producers = set(sim.inputs)
+        assert any("vision" in p for p in producers)
+        assert any("text" in p for p in producers)
+
+    def test_projections_share_embed_dim(self, clip):
+        v = clip.op("clip_base/vision/proj/matmul").weight
+        t = clip.op("clip_base/text/proj/matmul").weight
+        assert v.shape[1] == t.shape[1] == 512
+
+    def test_two_distinct_layer_families(self, clip):
+        """Vision (768-wide) and text (512-wide) towers must *not* merge
+        into one family — their compositions differ."""
+        trimmed, _ = trim_auxiliary(clip)
+        result = prune_graph(coarsen(trimmed), min_duplicate=2)
+        layer_fams = [f for f in result.families if "layer" in f.normalized]
+        assert len(layer_fams) == 2
+        assert {f.multiplicity for f in layer_fams} == {12}
+
+
+class TestWav2Vec:
+    @pytest.fixture(scope="class")
+    def w2v(self):
+        return build_wav2vec(Wav2VecConfig())
+
+    def test_conv_then_transformer(self, w2v):
+        # trace (insertion) order: the conv trunk precedes the encoder
+        order = [op.name for op in w2v]
+        last_conv = max(
+            i for i, n in enumerate(order) if "feature_extractor" in n
+        )
+        first_layer = min(
+            i for i, n in enumerate(order) if "/encoder/layer_0/" in n
+        )
+        assert last_conv < first_layer
+
+    def test_conv_kernel_widths(self, w2v):
+        k0 = w2v.op("wav2vec2/feature_extractor/conv_0/conv1d").weight
+        k6 = w2v.op("wav2vec2/feature_extractor/conv_6/conv1d").weight
+        assert k0.shape[0] == 10 and k6.shape[0] == 2
+
+    def test_config_alignment_enforced(self):
+        with pytest.raises(ValueError, match="align"):
+            Wav2VecConfig(conv_channels=(512,), conv_kernels=(10, 3))

@@ -1,0 +1,147 @@
+"""Structural tests over the model zoo."""
+
+import pytest
+
+from repro.graph import OpType, trim_auxiliary
+from repro.models import (
+    MODEL_PRESETS,
+    MoEConfig,
+    ResNetConfig,
+    TransformerConfig,
+    ViTConfig,
+    build_moe_transformer,
+    build_preset,
+    build_resnet,
+    build_t5,
+    build_vit,
+    resnet_with_classes,
+    t5_with_depth,
+)
+
+SMALL_PRESETS = [n for n in MODEL_PRESETS if not n.startswith("m6")]
+
+
+@pytest.mark.parametrize("name", SMALL_PRESETS)
+def test_presets_build_valid_dags(name):
+    g = build_preset(name)
+    g.validate()
+    assert g.num_parameters() > 0
+    assert len(g.roots()) >= 1
+
+
+@pytest.mark.parametrize("name", SMALL_PRESETS)
+def test_presets_have_trimmable_aux(name):
+    g = build_preset(name)
+    trimmed, record = trim_auxiliary(g)
+    assert record.num_removed > 0
+    trimmed.validate()
+    assert trimmed.num_parameters() == g.num_parameters()
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(KeyError, match="unknown preset"):
+        build_preset("nope")
+
+
+class TestT5:
+    def test_layer_structure(self):
+        g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+        names = {op.name for op in g}
+        assert any("encoder/layer_0/mha/q/matmul" in n for n in names)
+        assert any("decoder/layer_1/cross_mha" in n for n in names)
+        assert any("ffn/intermediate/matmul" in n for n in names)
+
+    def test_depth_scales_params_linearly(self):
+        p12 = t5_with_depth(12).num_parameters()
+        p24 = t5_with_depth(24).num_parameters()
+        p48 = t5_with_depth(48).num_parameters()
+        # per-layer increments should match
+        assert abs((p48 - p24) - 2 * (p24 - p12)) < 1e-6 * p48
+
+    def test_t5_large_approximates_770m(self):
+        p = build_preset("t5_large").num_parameters()
+        assert 6e8 < p < 9e8
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(hidden=10, num_heads=3)
+
+    def test_weight_variable_count_matches_paper_order(self):
+        """Paper §4.2: T5-large reduces to ~1015 weight variables."""
+        g = build_preset("t5_large")
+        n_weights = len(g.weights())
+        assert 400 <= n_weights <= 1200
+
+
+class TestResNet:
+    def test_wide_classifier_dominates(self):
+        g = resnet_with_classes(100_000)
+        fc = [w for w in g.weights() if "head/fc" in w.name][0]
+        assert fc.weight.num_elements == 2048 * 100_000
+        # Fig 3a: classifier ~205M vs features ~24M
+        assert fc.weight.num_elements > 0.8 * g.num_parameters()
+
+    def test_class_scaling_changes_only_head(self):
+        g1 = resnet_with_classes(1024)
+        g2 = resnet_with_classes(2048)
+        delta = g2.num_parameters() - g1.num_parameters()
+        assert delta == 2048 * 1024 + 1024  # kernel + bias widening
+
+    def test_resnet50_param_count(self):
+        p = build_resnet(ResNetConfig(num_classes=1000)).num_parameters()
+        assert 2.0e7 < p < 3.0e7
+
+    def test_stage_block_counts(self):
+        g = build_resnet(ResNetConfig(num_classes=10))
+        blocks = {
+            n.name.split("/")[2]
+            for n in g
+            if "/stage_2/" in n.name and n.op_type == OpType.ADD
+        }
+        assert len(blocks) == 6  # ResNet-50 stage 3 has 6 bottlenecks
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ResNetConfig(num_classes=0)
+
+
+class TestMoE:
+    def test_expert_weights_stacked(self):
+        g = build_moe_transformer(
+            MoEConfig(num_layers=2, num_experts=8, moe_every=1, hidden=64,
+                      ffn_dim=128, num_heads=4)
+        )
+        wi = [w for w in g.weights() if w.name.endswith("experts/wi")]
+        assert wi and all(w.weight.shape == (8, 64, 128) for w in wi)
+
+    def test_moe_every_interleaving(self):
+        g = build_moe_transformer(
+            MoEConfig(num_layers=4, num_experts=4, moe_every=2, hidden=64,
+                      ffn_dim=128, num_heads=4)
+        )
+        moe_layers = {n.name.split("/")[2] for n in g if "/moe/" in n.name}
+        assert moe_layers == {"layer_1", "layer_3"}
+
+    def test_invalid_topk(self):
+        with pytest.raises(ValueError):
+            MoEConfig(num_experts=4, top_k=5)
+
+
+class TestViT:
+    def test_patch_divisibility_checked(self):
+        with pytest.raises(ValueError):
+            ViTConfig(image_size=225, patch_size=14)
+
+    def test_vit_huge_params(self):
+        p = build_vit().num_parameters()
+        assert 5.5e8 < p < 7.5e8
+
+
+def test_m6_scales_by_roughly_10x():
+    """§6.5: M6-MoE-1T has ~10x the parameters of M6-MoE-100B."""
+    g100 = build_preset("m6_moe_100b")
+    g1t = build_preset("m6_moe_1t")
+    p100, p1t = g100.num_parameters(), g1t.num_parameters()
+    assert 8e10 < p100 < 1.3e11
+    assert 8e11 < p1t < 1.3e12
+    assert 8 < p1t / p100 < 12

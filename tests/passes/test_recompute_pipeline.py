@@ -1,0 +1,101 @@
+"""Tests for the recomputation policy and the hybrid pipeline pass."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import DEFAULT_REGISTRY, ShardingPlan, coarsen, route_plan
+from repro.graph import trim_auxiliary
+from repro.models import TransformerConfig, build_t5
+from repro.passes import pipeline_with_tap, select_recompute_scopes
+from repro.simulator import memory_per_device, simulate_iteration
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=4, decoder_layers=4,
+                                   hidden=256, ffn_dim=1024, num_heads=4))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+class TestRecompute:
+    def test_sqrt_policy_splits_layers(self, t5_nodes):
+        policy = select_recompute_scopes(t5_nodes)
+        assert policy.enabled
+        assert policy.recompute_nodes
+        assert policy.checkpoint_nodes
+        assert policy.recompute_nodes.isdisjoint(policy.checkpoint_nodes)
+
+    def test_unique_nodes_always_store(self, t5_nodes):
+        policy = select_recompute_scopes(t5_nodes)
+        for node in t5_nodes:
+            if "embed" in node.name or "head" in node.name:
+                assert policy.stores_activation(node.name)
+
+    def test_keep_every_override(self, t5_nodes):
+        policy = select_recompute_scopes(t5_nodes, keep_every=2)
+        # every other layer instance checkpoints: half the family nodes
+        total = len(policy.recompute_nodes) + len(policy.checkpoint_nodes)
+        assert abs(len(policy.recompute_nodes) - total / 2) <= total / 8
+
+    def test_memory_reduction(self, t5_nodes):
+        mesh = paper_testbed()
+        routed = route_plan(t5_nodes, ShardingPlan.of({}, 1), DEFAULT_REGISTRY)
+        policy = select_recompute_scopes(t5_nodes)
+        base = memory_per_device(routed, mesh)
+        less = memory_per_device(routed, mesh, recompute=policy)
+        assert less.activations < base.activations
+        assert less.weights == base.weights
+
+    def test_time_cost(self, t5_nodes):
+        mesh = paper_testbed()
+        routed = route_plan(t5_nodes, ShardingPlan.of({}, 1), DEFAULT_REGISTRY)
+        policy = select_recompute_scopes(t5_nodes)
+        base = simulate_iteration(routed, mesh)
+        slower = simulate_iteration(routed, mesh, recompute=policy)
+        assert slower.compute_time > base.compute_time
+        assert policy.backward_compute_multiplier() > 1.0
+
+    def test_fraction_bounded(self, t5_nodes):
+        policy = select_recompute_scopes(t5_nodes)
+        assert 0.0 < policy.recompute_flops_fraction < 1.0
+
+
+class TestHybridPipeline:
+    def test_two_stage_hybrid(self, t5_nodes):
+        plan = pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=2,
+                                 microbatches=8)
+        assert plan.num_stages == 2
+        assert plan.iteration_time > 0
+        assert 0 < plan.bubble_fraction < 1
+        covered = [n for s in plan.stages for n in s.nodes]
+        assert len(covered) == len(t5_nodes)
+        assert len(set(covered)) == len(covered)
+
+    def test_each_stage_has_tap_plan(self, t5_nodes):
+        plan = pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=2)
+        for stage in plan.stages:
+            assert stage.search.plan is not None
+            assert stage.mesh.num_devices == 8
+
+    def test_stage_count_must_divide_devices(self, t5_nodes):
+        with pytest.raises(ValueError, match="divide"):
+            pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=3)
+
+    def test_invalid_args(self, t5_nodes):
+        with pytest.raises(ValueError):
+            pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=0)
+        with pytest.raises(ValueError):
+            pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=2,
+                              microbatches=0)
+
+    def test_more_microbatches_shrink_bubble(self, t5_nodes):
+        mesh = paper_testbed()
+        few = pipeline_with_tap(t5_nodes, mesh, num_stages=2, microbatches=2)
+        many = pipeline_with_tap(t5_nodes, mesh, num_stages=2, microbatches=16)
+        assert many.bubble_fraction < few.bubble_fraction
+
+    def test_describe(self, t5_nodes):
+        plan = pipeline_with_tap(t5_nodes, paper_testbed(), num_stages=2)
+        text = plan.describe()
+        assert "stage 0" in text and "stage 1" in text

@@ -1,0 +1,117 @@
+"""Tests for the numeric collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.runtime import (
+    TrafficMeter,
+    all_gather,
+    all_reduce,
+    broadcast,
+    reduce_scatter,
+    slice_features,
+    slice_tokens,
+)
+
+
+def shards_of(x, parts, axis=0):
+    return [s.copy() for s in np.split(x, parts, axis=axis)]
+
+
+class TestAllReduce:
+    def test_sum_semantics(self):
+        xs = [np.ones((2, 2)) * i for i in range(4)]
+        out = all_reduce(xs)
+        assert all(np.allclose(o, 6.0) for o in out)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            all_reduce([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            all_reduce([np.ones((2,)), np.ones((3,))])
+
+    def test_traffic_recorded(self):
+        meter = TrafficMeter()
+        all_reduce([np.ones(4), np.ones(4)], meter)
+        assert meter.bytes_by_kind["all_reduce"] == pytest.approx(32.0)  # 2*(1/2)*32
+        assert meter.total_calls == 1
+
+
+class TestAllGather:
+    def test_concat_semantics(self):
+        x = np.arange(12.0).reshape(4, 3)
+        out = all_gather(shards_of(x, 2, axis=0), axis=0)
+        assert all(np.array_equal(o, x) for o in out)
+
+    def test_feature_axis(self):
+        x = np.arange(12.0).reshape(3, 4)
+        out = all_gather(shards_of(x, 2, axis=1), axis=-1)
+        assert np.array_equal(out[0], x)
+
+
+class TestReduceScatter:
+    def test_sum_then_slice(self):
+        partials = [np.full((4, 2), float(i)) for i in range(2)]
+        out = reduce_scatter(partials, axis=0)
+        assert out[0].shape == (2, 2)
+        assert np.allclose(out[0], 1.0) and np.allclose(out[1], 1.0)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_scatter([np.ones((3, 2))] * 2, axis=0)
+
+
+class TestBroadcastAndSlices:
+    def test_broadcast(self):
+        out = broadcast(np.arange(3.0), 4)
+        assert len(out) == 4 and np.array_equal(out[2], np.arange(3.0))
+
+    def test_broadcast_bad_group(self):
+        with pytest.raises(ValueError):
+            broadcast(np.ones(1), 0)
+
+    def test_slice_tokens_roundtrip(self):
+        x = np.arange(8.0).reshape(4, 2)
+        parts = slice_tokens(x, 2)
+        assert np.array_equal(np.concatenate(parts, axis=0), x)
+
+    def test_slice_features_roundtrip(self):
+        x = np.arange(8.0).reshape(2, 4)
+        parts = slice_features(x, 4)
+        assert np.array_equal(np.concatenate(parts, axis=1), x)
+
+    def test_slice_indivisible(self):
+        with pytest.raises(ValueError):
+            slice_tokens(np.ones((3, 2)), 2)
+        with pytest.raises(ValueError):
+            slice_features(np.ones((2, 3)), 2)
+
+
+@given(
+    x=arrays(np.float64, (8, 4), elements=st.floats(-100, 100)),
+    parts=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=30)
+def test_gather_scatter_inverse(x, parts):
+    """reduce_scatter of replicated copies == slices of parts * x."""
+    shards = [x.copy() for _ in range(parts)]
+    scattered = reduce_scatter(shards, axis=0)
+    gathered = all_gather(scattered, axis=0)
+    assert np.allclose(gathered[0], parts * x)
+
+
+@given(
+    x=arrays(np.float64, (6, 6), elements=st.floats(-10, 10)),
+    parts=st.sampled_from([2, 3]),
+    axis=st.sampled_from([0, 1]),
+)
+@settings(max_examples=30)
+def test_allgather_of_split_is_identity(x, parts, axis):
+    out = all_gather(shards_of(x, parts, axis=axis), axis=axis)
+    for o in out:
+        assert np.array_equal(o, x)

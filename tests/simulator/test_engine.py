@@ -1,0 +1,61 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator import Channel, Engine
+
+
+class TestChannel:
+    def test_fifo_serialisation(self):
+        c = Channel("compute")
+        t1 = c.submit("a", 1.0)
+        t2 = c.submit("b", 2.0)
+        assert t1.start == 0.0 and t1.end == 1.0
+        assert t2.start == 1.0 and t2.end == 3.0
+        assert c.makespan == 3.0
+
+    def test_ready_time_gates_start(self):
+        c = Channel("comm")
+        t = c.submit("x", 1.0, ready=5.0)
+        assert t.start == 5.0
+        assert c.free_at == 6.0
+
+    def test_ready_before_free_ignored(self):
+        c = Channel("c")
+        c.submit("a", 4.0)
+        t = c.submit("b", 1.0, ready=2.0)
+        assert t.start == 4.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c").submit("bad", -1.0)
+
+    def test_busy_and_idle_time(self):
+        c = Channel("c")
+        c.submit("a", 1.0)
+        c.submit("b", 1.0, ready=3.0)
+        assert c.busy_time == 2.0
+        assert c.idle_time() == 2.0
+        assert c.makespan == 4.0
+
+    def test_zero_duration_task(self):
+        c = Channel("c")
+        t = c.submit("instant", 0.0)
+        assert t.start == t.end == 0.0
+
+
+class TestEngine:
+    def test_channels_created_on_demand(self):
+        e = Engine()
+        a = e.channel("a")
+        assert e.channel("a") is a
+        assert len(e.channels) == 1
+
+    def test_makespan_across_channels(self):
+        e = Engine()
+        e.channel("x").submit("t", 2.0)
+        e.channel("y").submit("t", 5.0)
+        assert e.makespan == 5.0
+
+    def test_empty_engine_makespan(self):
+        assert Engine().makespan == 0.0

@@ -1,0 +1,117 @@
+"""Tests for the XLA-like fusion pass and synthetic convergence curves."""
+
+import pytest
+
+import repro as tap
+from repro.graph import OpType, TensorSpec, trim_auxiliary
+from repro.models import GraphBuilder, TransformerConfig, build_t5
+from repro.simulator import (
+    FusionReport,
+    ScalingLaw,
+    fuse_graph,
+    fused_iteration_time,
+    simulate_training_loss,
+)
+
+
+def elementwise_chain(n=5):
+    b = GraphBuilder("chain", emit_auxiliary=False)
+    x = b.input("x", (-1, 8))
+    prev = x
+    for i in range(n):
+        prev = b.emit(f"relu_{i}", OpType.RELU, (prev,), TensorSpec((-1, 8)))
+    return b.graph
+
+
+class TestFusion:
+    def test_chain_fuses_into_one_cluster(self):
+        report = fuse_graph(elementwise_chain(5))
+        assert len(report.clusters) == 1
+        assert report.launches_saved == 4
+
+    def test_matmul_breaks_chain(self):
+        b = GraphBuilder("m", emit_auxiliary=False)
+        x = b.input("x", (-1, 8))
+        r1 = b.emit("r1", OpType.RELU, (x,), TensorSpec((-1, 8)))
+        mm = b.emit("mm", OpType.MATMUL, (r1,), TensorSpec((-1, 8)),
+                    weight=TensorSpec((8, 8)))
+        b.emit("r2", OpType.RELU, (mm,), TensorSpec((-1, 8)))
+        report = fuse_graph(b.graph)
+        assert report.launches_saved == 0
+
+    def test_fanout_breaks_chain(self):
+        b = GraphBuilder("m", emit_auxiliary=False)
+        x = b.input("x", (-1, 8))
+        r1 = b.emit("r1", OpType.RELU, (x,), TensorSpec((-1, 8)))
+        b.emit("r2", OpType.RELU, (r1,), TensorSpec((-1, 8)))
+        b.emit("r3", OpType.RELU, (r1,), TensorSpec((-1, 8)))
+        report = fuse_graph(b.graph)
+        # r1 has two consumers: no single-consumer chain through it
+        assert all(len(c) <= 2 for c in report.clusters)
+
+    def test_comm_op_blocks_and_is_counted(self):
+        b = GraphBuilder("m", emit_auxiliary=False)
+        x = b.input("x", (-1, 8))
+        r1 = b.emit("r1", OpType.RELU, (x,), TensorSpec((-1, 8)))
+        r2 = b.emit("r2", OpType.RELU, (r1,), TensorSpec((-1, 8)))
+        b.emit("ar", OpType.ALL_REDUCE, (r2,), TensorSpec((-1, 8)))
+        report = fuse_graph(b.graph)
+        assert report.blocked_comm_ops == 1
+
+    def test_fusion_on_clean_graph_always_helps(self):
+        g = elementwise_chain(10)
+        t = fused_iteration_time(g, base_iteration_time=1.0)
+        assert t < 1.0
+
+    def test_fusion_on_rewritten_graph_can_hurt(self):
+        """§6.2.2: inserted collectives erode (or invert) XLA's gains."""
+        model = build_t5(
+            TransformerConfig(encoder_layers=2, decoder_layers=2, hidden=256,
+                              ffn_dim=1024, num_heads=4, vocab=512)
+        )
+        clean, _ = trim_auxiliary(model)
+        parallel = tap.auto_parallel(model, [2, 4], tp_degrees=[4]).graph
+        base = 0.05
+        gain_clean = base - fused_iteration_time(clean, base)
+        gain_parallel = base - fused_iteration_time(parallel, base)
+        assert gain_parallel < gain_clean
+
+    def test_report_counts(self):
+        report = fuse_graph(elementwise_chain(3))
+        assert report.num_ops_after == report.num_ops_before - report.launches_saved
+        assert report.num_fused_ops == 3
+
+
+class TestConvergence:
+    def test_scaling_law_monotone_in_params(self):
+        law = ScalingLaw()
+        assert law.loss(1e12, 1e9) < law.loss(1e11, 1e9)
+
+    def test_scaling_law_monotone_in_tokens(self):
+        law = ScalingLaw()
+        assert law.loss(1e11, 1e10) < law.loss(1e11, 1e9)
+
+    def test_scaling_law_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ScalingLaw().loss(0, 1e9)
+
+    def test_curve_decreases(self):
+        curve = simulate_training_loss("m", 1e11, 1e7, num_steps=100, noise_scale=0.0)
+        assert curve.losses[0] > curve.losses[-1]
+        assert curve.final_loss == curve.losses[-1]
+        assert len(curve.as_series()) == 100
+
+    def test_larger_model_reaches_lower_loss(self):
+        """Fig. 15's claim: M6-MoE-1T beats M6-MoE-100B."""
+        small = simulate_training_loss("100B", 1e11, 1e7, noise_scale=0.0)
+        large = simulate_training_loss("1T", 1e12, 1e7, noise_scale=0.0)
+        assert large.final_loss < small.final_loss
+
+    def test_deterministic_given_seed(self):
+        a = simulate_training_loss("m", 1e11, 1e7, seed=3)
+        b = simulate_training_loss("m", 1e11, 1e7, seed=3)
+        assert a.losses == b.losses
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            simulate_training_loss("m", 1e11, 1e7, num_steps=0)

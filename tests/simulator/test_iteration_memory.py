@@ -1,0 +1,124 @@
+"""Tests for the iteration simulator and memory model."""
+
+import pytest
+
+from repro.cluster import Mesh
+from repro.graph import trim_auxiliary
+from repro.core import CostConfig, DEFAULT_REGISTRY, ShardingPlan, coarsen, route_plan
+from repro.models import TransformerConfig, build_t5
+from repro.simulator import memory_per_device, simulate_iteration
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=4, decoder_layers=4))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+def plan_for(ng, suffix_patterns, tp):
+    mapping = {}
+    for node in ng.weight_nodes():
+        for suffix, pattern in suffix_patterns.items():
+            if node.name.endswith(suffix):
+                mapping[node.name] = pattern
+    return route_plan(ng, ShardingPlan.of(mapping, tp), DEFAULT_REGISTRY)
+
+
+MEGATRON = {
+    "mha/q": "split_col", "mha/k": "split_col", "mha/v": "split_col",
+    "mha/o": "split_row",
+    "ffn/intermediate": "split_col", "ffn/output": "split_row",
+}
+FFN_ONLY = {"ffn/intermediate": "split_col", "ffn/output": "split_row"}
+
+
+class TestIterationSimulation:
+    def test_profile_consistency(self, t5_nodes):
+        prof = simulate_iteration(plan_for(t5_nodes, MEGATRON, 8), Mesh(2, 8))
+        assert prof.iteration_time >= prof.forward_time > 0
+        assert prof.backward_time == pytest.approx(
+            prof.iteration_time - prof.forward_time
+        )
+        assert prof.exposed_comm_time <= prof.comm_time + 1e-9
+        assert 0.0 <= prof.overlap_efficiency <= 1.0
+
+    def test_compute_identical_across_plans(self, t5_nodes):
+        """Sharding redistributes FLOPs; it must not create or destroy them."""
+        mesh = Mesh(2, 8)
+        dp = simulate_iteration(plan_for(t5_nodes, {}, 1), mesh)
+        meg = simulate_iteration(plan_for(t5_nodes, MEGATRON, 8), mesh)
+        ffn = simulate_iteration(plan_for(t5_nodes, FFN_ONLY, 8), mesh)
+        assert dp.compute_time == pytest.approx(meg.compute_time, rel=0.02)
+        assert dp.compute_time == pytest.approx(ffn.compute_time, rel=0.02)
+
+    def test_dp_collapses_on_two_nodes(self, t5_nodes):
+        """Fig. 6's 16-worker story: pure DP drowns in gradient traffic."""
+        dp_8w = simulate_iteration(plan_for(t5_nodes, {}, 1), Mesh(1, 8))
+        dp_16w = simulate_iteration(plan_for(t5_nodes, {}, 1), Mesh(2, 8))
+        # more devices, same global batch => less compute, far more comm
+        assert dp_16w.comm_time > 3 * dp_8w.comm_time
+        assert dp_16w.exposed_comm_time > dp_8w.exposed_comm_time
+
+    def test_sharding_reduces_gradient_sync(self, t5_nodes):
+        mesh = Mesh(2, 8)
+        dp = simulate_iteration(plan_for(t5_nodes, {}, 1), mesh)
+        meg = simulate_iteration(plan_for(t5_nodes, MEGATRON, 8), mesh)
+        assert meg.gradient_sync_time < dp.gradient_sync_time
+
+    def test_gradient_overlap_hides_traffic(self, t5_nodes):
+        """With overlap, DP's exposed comm is less than its total comm."""
+        prof = simulate_iteration(plan_for(t5_nodes, {}, 1), Mesh(1, 8))
+        assert prof.exposed_comm_time < prof.comm_time
+
+    def test_as_dict_keys(self, t5_nodes):
+        d = simulate_iteration(plan_for(t5_nodes, {}, 1), Mesh(1, 2)).as_dict()
+        assert {"forward_time", "backward_time", "iteration_time"} <= set(d)
+
+    def test_batch_scales_compute(self, t5_nodes):
+        routed = plan_for(t5_nodes, {}, 1)
+        mesh = Mesh(1, 8)
+        small = simulate_iteration(routed, mesh, CostConfig(batch_tokens=2048))
+        big = simulate_iteration(routed, mesh, CostConfig(batch_tokens=16384))
+        assert big.compute_time > 3 * small.compute_time
+
+
+class TestMemoryModel:
+    def test_dp_stores_full_weights(self, t5_nodes):
+        routed = plan_for(t5_nodes, {}, 1)
+        mem = memory_per_device(routed, Mesh(2, 8))
+        full_bytes = sum(s.full_weight_bytes for s in routed.shards.values())
+        assert mem.weights == full_bytes
+        assert mem.gradients == mem.weights
+        assert mem.optimizer == 2 * mem.weights
+
+    def test_sharding_reduces_weight_memory(self, t5_nodes):
+        mesh = Mesh(2, 8)
+        dp = memory_per_device(plan_for(t5_nodes, {}, 1), mesh)
+        meg = memory_per_device(plan_for(t5_nodes, MEGATRON, 8), mesh)
+        assert meg.weights < dp.weights
+        assert meg.total < dp.total
+
+    def test_ffn_only_between_dp_and_megatron(self, t5_nodes):
+        mesh = Mesh(2, 8)
+        dp = memory_per_device(plan_for(t5_nodes, {}, 1), mesh).weights
+        ffn = memory_per_device(plan_for(t5_nodes, FFN_ONLY, 8), mesh).weights
+        meg = memory_per_device(plan_for(t5_nodes, MEGATRON, 8), mesh).weights
+        assert meg < ffn < dp
+
+    def test_report_total(self, t5_nodes):
+        mem = memory_per_device(plan_for(t5_nodes, {}, 1), Mesh(1, 8))
+        assert mem.total == (
+            mem.weights + mem.gradients + mem.optimizer
+            + mem.activations + mem.transient_peak
+        )
+        assert mem.total_gb == pytest.approx(mem.total / (1 << 30))
+        assert set(mem.as_dict()) >= {"weights", "activations", "total"}
+
+    def test_activation_memory_scales_with_batch(self, t5_nodes):
+        routed = plan_for(t5_nodes, {}, 1)
+        mesh = Mesh(1, 8)
+        small = memory_per_device(routed, mesh, CostConfig(batch_tokens=2048))
+        big = memory_per_device(routed, mesh, CostConfig(batch_tokens=16384))
+        assert big.activations > small.activations
+        assert big.weights == small.weights

@@ -1,0 +1,57 @@
+"""Tests for the sparkline renderer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.viz import render_curves, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_bars(self):
+        strip = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert strip == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        strip = sparkline(list(range(100)), width=10)
+        assert len(strip) == 10
+
+    def test_shared_scale(self):
+        low = sparkline([0, 1], lo=0, hi=10)
+        high = sparkline([9, 10], lo=0, hi=10)
+        assert low[0] == "▁" and high[-1] == "█"
+
+    def test_render_curves_shared_scale_and_endpoints(self):
+        text = render_curves([("loss_a", [5, 4, 3]), ("loss_b", [4, 3, 2])])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "[5 → 3]" in lines[0]
+        assert "[4 → 2]" in lines[1]
+        # the lowest point across both curves gets the lowest bar, and it
+        # lives on curve b (shared scale)
+        assert "▁" in lines[1]
+
+    def test_render_curves_empty(self):
+        assert render_curves([]) == ""
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=64))
+def test_sparkline_total(values):
+    strip = sparkline(values)
+    assert len(strip) == len(values)
+    assert set(strip) <= set("▁▂▃▄▅▆▇█")
+
+
+@given(
+    st.lists(st.floats(0, 100), min_size=2, max_size=200),
+    st.integers(1, 32),
+)
+def test_downsample_width_bound(values, width):
+    strip = sparkline(values, width=width)
+    assert len(strip) <= max(width, len(values) if len(values) <= width else width)

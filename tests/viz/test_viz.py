@@ -1,0 +1,61 @@
+"""Tests for plan rendering and table formatting."""
+
+import pytest
+
+from repro.graph import trim_auxiliary
+from repro.core import coarsen
+from repro.baselines import ffn_only_plan, megatron_plan
+from repro.models import TransformerConfig, build_t5
+from repro.viz import format_series, format_table, render_layer_grid, render_plan
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+class TestRenderPlan:
+    def test_layer_grid_marks(self, t5_nodes):
+        plan = ffn_only_plan(t5_nodes, 8)
+        row = render_layer_grid(t5_nodes, plan, "t5/encoder/layer_0")
+        assert "[ffn/intermediate:C]" in row
+        assert "[ffn/output:W]" in row
+        assert "[mha/q:R]" in row
+
+    def test_render_plan_autodetects_layers(self, t5_nodes):
+        text = render_plan(t5_nodes, megatron_plan(t5_nodes, 8), title="Megatron")
+        assert "Megatron" in text
+        assert "legend:" in text
+        assert text.count("encoder/layer_0") == 1
+
+    def test_empty_scope_renders_nothing(self, t5_nodes):
+        plan = ffn_only_plan(t5_nodes, 8)
+        assert render_layer_grid(t5_nodes, plan, "no/such/scope") == ""
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.14159]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert "3.142" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_rendering(self):
+        out = format_table(["v"], [[0.0001], [12345.6], [0.0]])
+        assert "0.0001" in out
+        assert "1.23e+04" in out
+
+    def test_series(self):
+        s = format_series("tap", [(1, 2.0), (4, 8.0)], unit="s")
+        assert s == "tap: 1=2s  4=8s"
