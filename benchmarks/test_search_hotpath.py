@@ -1,0 +1,95 @@
+"""Search hot path — the candidate-evaluation engine on vs. off.
+
+Times the full Algorithm 2 derivation with the memoized incremental
+engine (the default) against the reference route-everything loop, on the
+two models the paper's scaling figures stress: a deep T5 (Fig. 9's
+largest depth) and a ResNet with a ~100K-class head (Fig. 10's regime).
+The engine must be a pure accelerator: the selected plan, its cost and
+the candidate count are asserted identical to the reference path, and the
+engine's work counters (node evaluations, memo hits, bound-skipped
+candidates) are archived alongside the wall-clock ratio.
+"""
+
+import time
+
+import pytest
+
+from repro.core import CostConfig, derive_plan
+from repro.models import resnet_with_classes, t5_with_depth
+from repro.viz import format_table
+
+from common import emit, nodes_for, mesh_16w
+
+MODELS = (
+    ("t5-24L", lambda: t5_with_depth(24), None),
+    ("resnet-100K", lambda: resnet_with_classes(100_000),
+     CostConfig(batch_tokens=1024)),
+)
+
+#: Floor on engine-on vs. engine-off wall clock.  The engine typically
+#: lands far above this (10x-40x); the floor is conservative so the
+#: assertion stays robust under machine load.
+MIN_SPEEDUP = 3.0
+
+
+def sweep():
+    mesh = mesh_16w()
+    rows = []
+    for label, build, cfg in MODELS:
+        ng = nodes_for(build())
+        t0 = time.perf_counter()
+        ref = derive_plan(ng, mesh, cost_config=cfg, engine=False)
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        eng = derive_plan(ng, mesh, cost_config=cfg)
+        t_eng = time.perf_counter() - t0
+        rows.append(
+            {
+                "model": label,
+                "ref_seconds": t_ref,
+                "eng_seconds": t_eng,
+                "ref": ref,
+                "eng": eng,
+            }
+        )
+    return rows
+
+
+@pytest.mark.slow
+def test_search_hotpath_engine_speedup(run_once):
+    rows = run_once(sweep)
+    table = format_table(
+        ["model", "reference (s)", "engine (s)", "speed-up", "candidates",
+         "node evals", "memo hits", "bound-skipped"],
+        [
+            [
+                r["model"],
+                f"{r['ref_seconds']:.2f}",
+                f"{r['eng_seconds']:.2f}",
+                f"{r['ref_seconds'] / r['eng_seconds']:.1f}x",
+                r["eng"].candidates_examined,
+                r["eng"].evaluations,
+                r["eng"].cache_hits,
+                r["eng"].bound_skipped,
+            ]
+            for r in rows
+        ],
+        title="search hot path: candidate-evaluation engine on vs. off "
+              "(mesh 2x8)",
+    )
+    emit("search_hotpath", table)
+
+    for r in rows:
+        ref, eng = r["ref"], r["eng"]
+        # the engine is a pure accelerator: identical selection, exactly
+        assert eng.plan.as_dict == ref.plan.as_dict, r["model"]
+        assert eng.plan.tp_degree == ref.plan.tp_degree, r["model"]
+        assert eng.cost == ref.cost, r["model"]
+        assert eng.candidates_examined == ref.candidates_examined, r["model"]
+        # the counters expose where the time went
+        assert eng.evaluations > 0
+        assert eng.cache_hits > eng.evaluations
+        assert eng.bound_skipped > 0
+        # and the whole point: it is much faster
+        speedup = r["ref_seconds"] / r["eng_seconds"]
+        assert speedup >= MIN_SPEEDUP, (r["model"], speedup)

@@ -140,7 +140,7 @@ def _intra_op_pass(
     node_graph: NodeGraph,
     stage_nodes: List[str],
     mesh: Mesh,
-    cfg: CostConfig,
+    cm: "CostModel",
     devices_per_stage: int,
     result: "AlpaResult",
 ) -> int:
@@ -151,9 +151,10 @@ def _intra_op_pass(
     communication cost model.  Each query walks the whole stage — exactly
     the O(E(V+E)) lower bound Table 2 assigns Alpa's inner loop — and no
     result is shared across the structurally identical stages of a deep
-    model, because this search has no notion of shared subgraphs.
+    model, because this search has no notion of shared subgraphs.  The
+    cost model itself is shared across stages so its device-group and
+    pricing caches warm once per search instead of once per stage.
     """
-    from ..core.cost import CostModel
     from ..core.patterns import DEFAULT_REGISTRY
     from ..core.plan import ShardingPlan
     from ..core.routing import RoutingError, route_plan
@@ -161,7 +162,6 @@ def _intra_op_pass(
     if devices_per_stage <= 1:
         return 0
     block = node_graph.subgraph(stage_nodes, name="stage")
-    cm = CostModel(mesh, cfg)
     tp = devices_per_stage
     if mesh.num_devices % tp != 0:
         return 0
@@ -199,9 +199,12 @@ def alpa_like_search(
     profile: bool = True,
 ) -> AlpaResult:
     """Run the two-level search over the unpruned node graph."""
+    from ..core.cost import CostModel
+
     cfg = cost_config or CostConfig()
     start = time.perf_counter()
     result = AlpaResult()
+    cost_model = CostModel(mesh, cfg)
 
     order = node_graph.topo_order()
     nodes = [node_graph.node(n) for n in order]
@@ -271,7 +274,8 @@ def alpa_like_search(
             lo, hi = bounds[k], bounds[k + 1]
             stage_nodes = order[lo:hi]
             sharded = _intra_op_pass(
-                node_graph, stage_nodes, mesh, cfg, devices_per_stage, result
+                node_graph, stage_nodes, mesh, cost_model, devices_per_stage,
+                result,
             )
             intra_comm = 0.0
             if sharded and devices_per_stage > 1:

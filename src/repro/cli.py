@@ -41,6 +41,13 @@ from .viz import format_table, render_plan
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _parse_mesh(text: str, fabric: str) -> Mesh:
     try:
         nodes, gpus = (int(x) for x in text.lower().split("x"))
@@ -94,10 +101,16 @@ def cmd_plan(args) -> int:
         ng, mesh,
         cost_config=CostConfig(batch_tokens=args.batch_tokens),
         min_duplicate=args.min_duplicate,
+        engine=not args.no_engine,
+        jobs=args.jobs,
     )
     print(f"model: {args.model}   mesh: {mesh}")
     print(f"searched {result.candidates_examined} candidates "
           f"({result.valid_plans} valid) in {result.search_seconds:.2f}s")
+    if not args.no_engine:
+        print(f"engine: {result.evaluations} node evaluations, "
+              f"{result.cache_hits} cache hits, "
+              f"{result.bound_skipped} candidates bound-skipped")
     print(f"best: {result.plan.describe()}")
     print(f"cost: {result.cost * 1e3:.2f} ms (communication objective)")
     print()
@@ -157,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
     p.add_argument("--batch-tokens", type=int, default=16 * 512)
     p.add_argument("--min-duplicate", type=int, default=2)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="threads for independent family x TP-degree searches")
+    p.add_argument("--no-engine", action="store_true",
+                   help="use the reference per-candidate loop instead of "
+                        "the memoized evaluation engine")
     p.add_argument("-o", "--output", help="save the plan as JSON")
     p.set_defaults(func=cmd_plan)
 

@@ -13,6 +13,8 @@ from .collectives import (
     COLLECTIVES,
     EFFICIENCY,
     CollectiveModel,
+    collective_cache_clear,
+    collective_cache_info,
     collective_time,
     collective_wire_bytes,
 )
@@ -28,6 +30,8 @@ __all__ = [
     "COLLECTIVES",
     "EFFICIENCY",
     "CollectiveModel",
+    "collective_cache_clear",
+    "collective_cache_info",
     "collective_time",
     "collective_wire_bytes",
 ]

@@ -22,15 +22,18 @@ broadcast          B                 (pipelined chain)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict
 
-from .topology import DeviceGroup
+from .topology import DeviceGroup, Interconnect
 
 __all__ = [
     "CollectiveModel",
     "EFFICIENCY",
     "collective_time",
     "collective_wire_bytes",
+    "collective_cache_info",
+    "collective_cache_clear",
     "COLLECTIVES",
 ]
 
@@ -95,6 +98,31 @@ def collective_wire_bytes(kind: str, bytes_full: float, group_size: int) -> floa
     return _VOLUME[kind](bytes_full, group_size)
 
 
+@lru_cache(maxsize=65_536)
+def _collective_time_cached(
+    kind: str,
+    bytes_full: float,
+    group_size: int,
+    link: Interconnect,
+    use_efficiency: bool,
+) -> float:
+    """Memoized core of :func:`collective_time`.
+
+    The timing model depends on the group only through its size and its
+    bottleneck link, so the cache key is ``(collective, nbytes,
+    group-signature, use_efficiency)`` — distinct :class:`DeviceGroup`
+    objects with the same shape share one entry.  Algorithm 2 prices the
+    same tensors on the same three groups thousands of times per family;
+    memoizing here is the base layer of the candidate-evaluation engine.
+    """
+    volume = collective_wire_bytes(kind, bytes_full, group_size)
+    if volume == 0.0:
+        return 0.0
+    eff = EFFICIENCY[kind] if use_efficiency else 1.0
+    steps = _STEPS[kind](group_size)
+    return steps * link.latency + volume / (link.bandwidth * eff)
+
+
 def collective_time(
     kind: str,
     bytes_full: float,
@@ -106,14 +134,19 @@ def collective_time(
     ``use_efficiency=False`` disables the per-collective factors (the
     cost-model ablation), leaving the pure ring model.
     """
-    p = group.size
-    volume = collective_wire_bytes(kind, bytes_full, p)
-    if volume == 0.0:
-        return 0.0
-    link = group.bottleneck
-    eff = EFFICIENCY[kind] if use_efficiency else 1.0
-    steps = _STEPS[kind](p)
-    return steps * link.latency + volume / (link.bandwidth * eff)
+    return _collective_time_cached(
+        kind, bytes_full, group.size, group.bottleneck, use_efficiency
+    )
+
+
+def collective_cache_info():
+    """Hit/miss statistics of the memoized pricing layer."""
+    return _collective_time_cached.cache_info()
+
+
+def collective_cache_clear() -> None:
+    """Reset the memoized pricing layer (benchmark isolation)."""
+    _collective_time_cached.cache_clear()
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ span.  Everything is configurable so benchmarks can sweep fabrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Sequence, Tuple
 
 __all__ = ["Interconnect", "Mesh", "DeviceGroup", "V100_PCIE_ETHERNET"]
@@ -145,12 +146,17 @@ class DeviceGroup:
     def size(self) -> int:
         return len(self.devices)
 
-    @property
+    @cached_property
     def spans_nodes(self) -> bool:
         nodes = {self.mesh.node_of(d) for d in self.devices}
         return len(nodes) > 1
 
-    @property
+    @cached_property
     def bottleneck(self) -> Interconnect:
-        """Slowest link any ring through this group must cross."""
+        """Slowest link any ring through this group must cross.
+
+        Cached per instance: the planner prices thousands of collectives on
+        the same handful of groups, and the node-membership scan would
+        otherwise dominate ``collective_time``.
+        """
         return self.mesh.inter if self.spans_nodes else self.mesh.intra

@@ -14,9 +14,22 @@ from .patterns import (
     default_registry,
 )
 from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
-from .routing import NONLINEAR_OPS, RoutingError, is_valid, route_plan
+from .routing import (
+    NONLINEAR_OPS,
+    RoutingError,
+    is_valid,
+    route_node,
+    route_plan,
+)
 from .cost import CostBreakdown, CostConfig, CostModel, plan_cost
 from .packing import Bucket, PackingConfig, pack_gradients
+from .evaluate import (
+    BlockEvaluator,
+    BlockSearchOutcome,
+    decision_groups,
+    iter_gray_plans,
+    search_block_candidates,
+)
 from .planner import (
     FamilySearch,
     SearchResult,
@@ -57,6 +70,7 @@ __all__ = [
     "NONLINEAR_OPS",
     "RoutingError",
     "is_valid",
+    "route_node",
     "route_plan",
     "CostBreakdown",
     "CostConfig",
@@ -65,6 +79,11 @@ __all__ = [
     "Bucket",
     "PackingConfig",
     "pack_gradients",
+    "BlockEvaluator",
+    "BlockSearchOutcome",
+    "decision_groups",
+    "iter_gray_plans",
+    "search_block_candidates",
     "FamilySearch",
     "SearchResult",
     "derive_plan",

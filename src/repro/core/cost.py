@@ -29,9 +29,21 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cluster import DeviceGroup, Mesh, collective_time
 from .packing import PackingConfig, pack_gradients
-from .plan import CommEvent, RoutedPlan
+from .plan import CommEvent, NodeShard, RoutedPlan
 
 __all__ = ["CostConfig", "CostBreakdown", "CostModel", "plan_cost"]
+
+#: Term kinds produced by :meth:`CostModel.shard_terms` — where one priced
+#: communication event (or gradient packet) lands in the breakdown.
+TERM_FWD_COMM = 0
+TERM_BWD_TP_COMM = 1
+TERM_GRAD_DP = 2
+TERM_GRAD_ALL = 3
+
+#: Bound on the per-shard terms cache: enough for every shard of the
+#: largest zoo graphs plus search churn, small enough to stay off the heap
+#: profile.  Eviction is FIFO and deterministic (a miss just recomputes).
+_SHARD_CACHE_LIMIT = 32_768
 
 
 @dataclass(frozen=True)
@@ -108,6 +120,14 @@ class CostModel:
     def __init__(self, mesh: Mesh, config: CostConfig | None = None) -> None:
         self.mesh = mesh
         self.config = config or CostConfig()
+        self._groups_cache: Dict[
+            int, Tuple[DeviceGroup, DeviceGroup, DeviceGroup]
+        ] = {}
+        #: id(shard) → (shard, t_fwd, terms); the strong shard reference
+        #: pins the id, so entries can never alias a recycled object.
+        self._shard_terms_cache: Dict[
+            Tuple[int, int], Tuple[NodeShard, float, Tuple]
+        ] = {}
 
     # ------------------------------------------------------------------
     # device groups for a plan's tp/dp factorisation
@@ -121,7 +141,14 @@ class CostModel:
         group (data-parallel gradient sync of replicated weights) covers
         the whole mesh.  Groups are representative — all TP groups are
         isomorphic under the packed layout, so pricing one suffices.
+
+        Built once per ``(mesh, tp_degree)`` and reused: Algorithm 2 prices
+        thousands of candidates per degree and the three groups never
+        change within one.
         """
+        cached = self._groups_cache.get(tp_degree)
+        if cached is not None:
+            return cached
         P = self.mesh.num_devices
         if tp_degree < 1 or P % tp_degree != 0:
             raise ValueError(
@@ -130,12 +157,64 @@ class CostModel:
         tp_group = self.mesh.group(list(range(tp_degree)))
         dp = P // tp_degree
         dp_group = self.mesh.group([k * tp_degree for k in range(dp)])
-        return tp_group, dp_group, self.mesh.group()
+        out = (tp_group, dp_group, self.mesh.group())
+        self._groups_cache[tp_degree] = out
+        return out
 
     def dp_degree(self, tp_degree: int) -> int:
         return self.mesh.num_devices // tp_degree
 
     # ------------------------------------------------------------------
+    def shard_terms(
+        self,
+        shard: NodeShard,
+        tokens_per_replica: int,
+        groups: Dict[str, DeviceGroup],
+    ) -> Tuple[float, Tuple[Tuple[int, float], ...]]:
+        """(t_fwd, priced terms) for one shard — the memoized unit of cost.
+
+        Each term is ``(kind, value)``: a forward / backward-TP collective
+        time, or a gradient packet's byte count destined for the dp/all
+        sync stream.  Terms are cached per shard object: identical shards
+        reused across incremental routings (and the many estimates of one
+        search) are priced once, and a replayed term is the *same float*
+        the direct computation produces, keeping cached and fresh pricing
+        bit-identical.
+        """
+        key = (id(shard), tokens_per_replica)
+        hit = self._shard_terms_cache.get(key)
+        if hit is not None and hit[0] is shard:
+            return hit[1], hit[2]
+        cfg = self.config
+        t_fwd = (
+            shard.flops * tokens_per_replica * shard.compute_share
+            / self.mesh.effective_flops
+        )
+        terms: List[Tuple[int, float]] = []
+        for ev in shard.events:
+            if ev.overlappable and ev.axis in ("dp", "all"):
+                terms.append(
+                    (
+                        TERM_GRAD_DP if ev.axis == "dp" else TERM_GRAD_ALL,
+                        ev.nbytes(tokens_per_replica),
+                    )
+                )
+                continue
+            t = collective_time(
+                ev.collective,
+                ev.nbytes(tokens_per_replica),
+                groups[ev.axis],
+                use_efficiency=cfg.use_efficiency,
+            )
+            terms.append(
+                (TERM_FWD_COMM if ev.phase == "forward" else TERM_BWD_TP_COMM, t)
+            )
+        if len(self._shard_terms_cache) >= _SHARD_CACHE_LIMIT:
+            self._shard_terms_cache.pop(next(iter(self._shard_terms_cache)))
+        out = (shard, t_fwd, tuple(terms))
+        self._shard_terms_cache[key] = out
+        return out[1], out[2]
+
     def estimate(self, routed: RoutedPlan) -> CostBreakdown:
         """Full cost breakdown of one routed plan."""
         cfg = self.config
@@ -150,28 +229,20 @@ class CostModel:
 
         for name in routed.order:
             shard = routed.shards[name]
+            t_fwd, terms = self.shard_terms(shard, tokens_per_replica, groups)
             # compute ----------------------------------------------------
-            t_fwd = (
-                shard.flops * tokens_per_replica * shard.compute_share
-                / self.mesh.effective_flops
-            )
             bd.forward_compute += t_fwd
             bd.backward_compute += cfg.backward_flops_factor * t_fwd
             # communication ----------------------------------------------
-            for ev in shard.events:
-                if ev.overlappable and ev.axis in grad_streams:
-                    grad_streams[ev.axis].append(ev.nbytes(tokens_per_replica))
-                    continue
-                t = collective_time(
-                    ev.collective,
-                    ev.nbytes(tokens_per_replica),
-                    groups[ev.axis],
-                    use_efficiency=cfg.use_efficiency,
-                )
-                if ev.phase == "forward":
-                    bd.forward_comm += t
+            for kind, value in terms:
+                if kind == TERM_FWD_COMM:
+                    bd.forward_comm += value
+                elif kind == TERM_BWD_TP_COMM:
+                    bd.backward_tp_comm += value
+                elif kind == TERM_GRAD_DP:
+                    grad_streams["dp"].append(value)
                 else:
-                    bd.backward_tp_comm += t
+                    grad_streams["all"].append(value)
 
         # gradient synchronisation: pack, then price over each group ------
         grad_time = 0.0

@@ -145,6 +145,12 @@ class RoutedPlan:
     #: serves every consumer demanding the same layout; the rewriter keys
     #: its spliced communication ops off this table.
     conversions: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: per consumer node, the conversion claims it registered while being
+    #: routed — lets ``route_plan(..., base=...)`` rebuild the dedup state
+    #: of a reused prefix without re-walking it.
+    claims: Dict[str, List[Tuple[Tuple[str, str], str]]] = field(
+        default_factory=dict
+    )
 
     @property
     def tp_degree(self) -> int:

@@ -12,19 +12,36 @@
 4. broadcast each family's winner to all its instances, default everything
    uncovered to replication, and route + price the assembled full plan.
 
+Step 3 runs on the candidate-evaluation engine
+(:mod:`repro.core.evaluate`): Gray-code enumeration, incremental
+memoized routing, cached pricing and branch-and-bound — selecting the
+bit-identical plan the reference per-candidate loop selects
+(``engine=False`` runs that loop for comparison).  ``jobs`` spreads
+independent (family × TP degree) searches over a thread pool; the
+reduction is performed in a fixed order, so results never depend on
+scheduling.
+
 Multiple tensor-parallel degrees can be searched; each family's candidates
 are evaluated per degree and the best assembled plan across degrees wins.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cluster import Mesh
 from .cost import CostConfig, CostModel
+from .evaluate import (
+    EVAL_VALID,
+    BlockEvaluator,
+    BlockSearchOutcome,
+    decision_groups,
+    iter_gray_plans,
+    search_block_candidates,
+)
 from .graphnode import NodeGraph
 from .patterns import DEFAULT_REGISTRY, PatternRegistry
 from .plan import RoutedPlan, ShardingPlan
@@ -33,17 +50,25 @@ from .routing import RoutingError, route_plan
 
 __all__ = ["FamilySearch", "SearchResult", "enumerate_block_plans", "derive_plan"]
 
+#: Backwards-compatible alias — the group computation moved to
+#: :mod:`repro.core.evaluate` with the candidate-evaluation engine.
+_enumerable_groups = decision_groups
+
 
 @dataclass
 class FamilySearch:
     """Search record for one shared-subgraph family at one TP degree."""
 
-    family: SubgraphFamily
+    family: Optional[SubgraphFamily]
     tp_degree: int
     candidates: int = 0
     valid: int = 0
     best_assignment: Dict[str, str] = field(default_factory=dict)
     best_cost: float = float("inf")
+    #: engine counters (zero on the reference path / uncovered search)
+    evaluations: int = 0
+    cache_hits: int = 0
+    bound_skipped: int = 0
 
 
 @dataclass
@@ -51,41 +76,37 @@ class SearchResult:
     """Outcome of Algorithm 2 over the whole model."""
 
     plan: ShardingPlan
-    routed: RoutedPlan
     cost: float
     prune: PruneResult
     families: List[FamilySearch] = field(default_factory=list)
     candidates_examined: int = 0
     valid_plans: int = 0
     search_seconds: float = 0.0
+    #: node routings the engine executed (cache misses)
+    evaluations: int = 0
+    #: node routings the engine answered from its memo table
+    cache_hits: int = 0
+    #: candidates abandoned mid-walk by the admissible bound
+    bound_skipped: int = 0
+    _routed: Optional[RoutedPlan] = None
+    _route_thunk: Optional[Callable[[], RoutedPlan]] = None
+
+    @property
+    def routed(self) -> RoutedPlan:
+        """Full routing of the winning plan.
+
+        The engine already validated and priced the winner without
+        materialising a :class:`RoutedPlan`, so the walk that builds one
+        (shards, events, conversion table) runs on first access — callers
+        that only need the plan and its cost never pay for it.
+        """
+        if self._routed is None:
+            self._routed = self._route_thunk()
+        return self._routed
 
     @property
     def tp_degree(self) -> int:
         return self.plan.tp_degree
-
-
-def _enumerable_groups(
-    block: NodeGraph, registry: PatternRegistry, tp_degree: int
-) -> List[Tuple[List[str], List[str]]]:
-    """Decision groups: (node names sharing the decision, option names).
-
-    Weight nodes that are structurally identical *and* play the same role
-    (same basename — ``mha/q`` and ``cross_mha/q``) share one pattern
-    decision, mirroring the paper's per-weight-tensor count (3 choices for
-    each of the 6 distinct transformer-layer weights → 729 candidates).
-    """
-    groups: Dict[Tuple, Tuple[List[str], List[str]]] = {}
-    for node in block.weight_nodes():
-        options = [p.name for p in registry.options(node, tp_degree)]
-        if len(options) <= 1:
-            continue
-        basename = node.name.rsplit("/", 1)[-1]
-        key = (node.signature(), basename, tuple(options))
-        if key in groups:
-            groups[key][0].append(node.name)
-        else:
-            groups[key] = ([node.name], options)
-    return list(groups.values())
 
 
 def enumerate_block_plans(
@@ -96,26 +117,14 @@ def enumerate_block_plans(
 ) -> Iterator[ShardingPlan]:
     """All pattern assignments over a block's decision groups.
 
-    Yields at most ``max_plans`` (a guard against pathological blocks; the
-    all-replicate assignment is the first combination, so a fallback always
-    exists).
+    Candidates come out in Gray order (consecutive plans differ in one
+    decision group); the first is all-replicate, and an all-replicate
+    fallback is guaranteed even when the ``max_plans`` guard truncates the
+    enumeration mid-product.
     """
-    enumerable = _enumerable_groups(block, registry, tp_degree)
-    name_groups = [names for names, _ in enumerable]
-    option_lists = [opts for _, opts in enumerable]
-    count = 0
-    for combo in itertools.product(*option_lists):
-        if count >= max_plans:
-            return
-        assignment = {
-            name: pattern
-            for names, pattern in zip(name_groups, combo)
-            for name in names
-        }
+    groups = decision_groups(block, registry, tp_degree)
+    for assignment, _changed in iter_gray_plans(groups, max_plans):
         yield ShardingPlan.of(assignment, tp_degree)
-        count += 1
-    if count == 0:
-        yield ShardingPlan.of({}, tp_degree)
 
 
 def _broadcast_assignment(
@@ -159,85 +168,105 @@ def derive_plan(
     tp_degrees: Optional[Sequence[int]] = None,
     max_plans_per_block: int = 50_000,
     use_pruning: bool = True,
+    engine: bool = True,
+    use_bound: bool = True,
+    jobs: int = 1,
 ) -> SearchResult:
     """Run the full TAP derivation (Algorithm 2) and return the best plan.
 
     ``use_pruning=False`` searches the whole graph as a single block — the
-    ablation that demonstrates why Algorithm 1 matters.
+    ablation that demonstrates why Algorithm 1 matters.  ``engine=False``
+    swaps the candidate-evaluation engine for the reference
+    route-everything loop; ``use_bound=False`` keeps the engine but
+    disables branch-and-bound.  ``jobs`` > 1 searches independent
+    (family × TP degree) blocks on a thread pool — the selected plan and
+    cost are identical for every setting of these knobs.
     """
     start = time.perf_counter()
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     cost_model = CostModel(mesh, cost_config)
     prune = prune_graph(node_graph, min_duplicate=min_duplicate if use_pruning else 0)
+    degrees = _candidate_tp_degrees(mesh, tp_degrees)
 
-    best: Optional[SearchResult] = None
-    family_records: List[FamilySearch] = []
-    total_candidates = 0
-    total_valid = 0
-
-    for tp in _candidate_tp_degrees(mesh, tp_degrees):
-        assignment: Dict[str, str] = {}
-        records_this_tp: List[FamilySearch] = []
-        if use_pruning:
-            blocks: List[Tuple[Optional[SubgraphFamily], NodeGraph]] = [
+    # Block construction is independent of the TP degree: build each
+    # family's representative block (and the residual of uncovered weight
+    # nodes) once.  Uncovered weight nodes (embeddings, a unique
+    # classifier) still need sharding decisions — this is the paper's
+    # ResNet case, where the single giant FC layer is exactly what must
+    # get sharded.
+    family_blocks: List[Tuple[Optional[SubgraphFamily], NodeGraph]] = []
+    uncovered_block: Optional[NodeGraph] = None
+    if use_pruning:
+        for fam in prune.families:
+            family_blocks.append(
                 (fam, node_graph.subgraph(fam.member_nodes[0], name=fam.normalized))
-                for fam in prune.families
-            ]
-            # Weight nodes outside every family (a unique wide classifier,
-            # the embeddings) still need sharding decisions: search them as
-            # one residual block.  This is the paper's ResNet case — the
-            # single giant FC layer is exactly what must get sharded.
-            if prune.uncovered:
-                residual = node_graph.subgraph(prune.uncovered, name="uncovered")
-                if residual.weight_nodes():
-                    blocks.append((None, residual))
-        else:
-            blocks = [(None, node_graph)]
-
-        uncovered_block: Optional[NodeGraph] = None
-        for fam, block in blocks:
-            if fam is None and use_pruning:
-                uncovered_block = block  # handled after the families
-                continue
-            record = FamilySearch(family=fam, tp_degree=tp)
-            for candidate in enumerate_block_plans(
-                block, registry, tp, max_plans=max_plans_per_block
-            ):
-                record.candidates += 1
-                try:
-                    routed_block = route_plan(block, candidate, registry)
-                except RoutingError:
-                    continue
-                record.valid += 1
-                cost = cost_model.plan_cost(routed_block)
-                if cost < record.best_cost:
-                    record.best_cost = cost
-                    record.best_assignment = candidate.as_dict
-            records_this_tp.append(record)
-            total_candidates += record.candidates
-            total_valid += record.valid
-            if record.best_assignment:
-                if fam is not None:
-                    assignment.update(_broadcast_assignment(fam, record.best_assignment))
-                else:
-                    assignment.update(record.best_assignment)
-
-        # Uncovered weight nodes (embeddings, a unique classifier) interact
-        # with the family plans through their boundary conversions, so they
-        # are priced against the *full* graph with the family assignment
-        # fixed.  Joint enumeration would be exponential in the number of
-        # unique nodes; one greedy coordinate-descent pass (largest weights
-        # first, each group's options tried with the others held fixed)
-        # needs only a few full-graph routing passes and reliably shards
-        # the dominant unique tensor — the paper's wide-FC case.
-        if uncovered_block is not None:
-            record = FamilySearch(family=None, tp_degree=tp)
-            groups = _enumerable_groups(uncovered_block, registry, tp)
-            groups.sort(
-                key=lambda g: -max(
-                    uncovered_block.node(n).num_parameters for n in g[0]
-                )
             )
-            current: Dict[str, str] = {}
+        if prune.uncovered:
+            residual = node_graph.subgraph(prune.uncovered, name="uncovered")
+            if residual.weight_nodes():
+                uncovered_block = residual
+    else:
+        family_blocks = [(None, node_graph)]
+
+    def family_task(tp: int, block: NodeGraph) -> BlockSearchOutcome:
+        return search_block_candidates(
+            block,
+            registry,
+            tp,
+            cost_model,
+            max_plans=max_plans_per_block,
+            engine=engine,
+            use_bound=use_bound,
+        )
+
+    # Phase A — every (family, tp) candidate sweep is independent.
+    tasks = [(tp, idx) for tp in degrees for idx in range(len(family_blocks))]
+    outcomes: Dict[Tuple[int, int], BlockSearchOutcome] = {}
+    if jobs > 1 and len(tasks) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(family_task, tp, family_blocks[idx][1]): (tp, idx)
+                for tp, idx in tasks
+            }
+            for fut in as_completed(futures):
+                outcomes[futures[fut]] = fut.result()
+    else:
+        for tp, idx in tasks:
+            outcomes[(tp, idx)] = family_task(tp, family_blocks[idx][1])
+
+    def search_uncovered(
+        tp: int,
+        assignment: Dict[str, str],
+        evaluator: Optional[BlockEvaluator],
+    ) -> FamilySearch:
+        # Uncovered nodes interact with the family plans through their
+        # boundary conversions, so they are priced against the *full*
+        # graph with the family assignment fixed.  Joint enumeration would
+        # be exponential in the number of unique nodes; one greedy
+        # coordinate-descent pass (largest weights first, each group's
+        # options tried with the others held fixed) needs only a few
+        # full-graph routing passes — incremental ones when the engine is
+        # on, since each trial changes a single decision group.
+        record = FamilySearch(family=None, tp_degree=tp)
+        groups = decision_groups(uncovered_block, registry, tp)
+        groups.sort(
+            key=lambda g: -max(
+                uncovered_block.node(n).num_parameters for n in g[0]
+            )
+        )
+        current: Dict[str, str] = {}
+
+        if engine:
+            # Full-graph evaluator: each trial changes one decision group,
+            # so routing and pricing resume from the first changed node
+            # and most node outcomes come straight from the memo table.
+            def full_cost(extra: Dict[str, str]) -> Optional[float]:
+                status, cost = evaluator.price({**assignment, **extra})
+                if status != EVAL_VALID:
+                    return None
+                return cost
+        else:
 
             def full_cost(extra: Dict[str, str]) -> Optional[float]:
                 merged = ShardingPlan.of({**assignment, **extra}, tp)
@@ -247,54 +276,132 @@ def derive_plan(
                     return None
                 return cost_model.plan_cost(routed)
 
-            base_cost = full_cost(current)
-            record.candidates += 1
-            if base_cost is not None:
+        base_cost = full_cost(current)
+        record.candidates += 1
+        if base_cost is not None:
+            record.valid += 1
+            record.best_cost = base_cost
+        for names, options in groups:
+            best_option, best_cost_here = "replicate", record.best_cost
+            for option in options:
+                if option == "replicate":
+                    continue
+                record.candidates += 1
+                trial = dict(current)
+                trial.update({n: option for n in names})
+                cost = full_cost(trial)
+                if cost is None:
+                    continue
                 record.valid += 1
-                record.best_cost = base_cost
-            for names, options in groups:
-                best_option, best_cost_here = "replicate", record.best_cost
-                for option in options:
-                    if option == "replicate":
-                        continue
-                    record.candidates += 1
-                    trial = dict(current)
-                    trial.update({n: option for n in names})
-                    cost = full_cost(trial)
-                    if cost is None:
-                        continue
-                    record.valid += 1
-                    if cost < best_cost_here:
-                        best_cost_here = cost
-                        best_option = option
-                if best_option != "replicate":
-                    current.update({n: best_option for n in names})
-                    record.best_cost = best_cost_here
-            record.best_assignment = current
-            records_this_tp.append(record)
-            total_candidates += record.candidates
-            total_valid += record.valid
-            assignment.update(current)
+                if cost < best_cost_here:
+                    best_cost_here = cost
+                    best_option = option
+            if best_option != "replicate":
+                current.update({n: best_option for n in names})
+                record.best_cost = best_cost_here
+        record.best_assignment = current
+        if engine:
+            record.evaluations = evaluator.evaluations
+            record.cache_hits = evaluator.cache_hits
+        return record
 
-        family_records.extend(records_this_tp)
+    # Phase B — per TP degree: collect family winners, run the uncovered
+    # search against them, assemble and price the full plan.  On the
+    # engine path the assembled plan is priced by the same full-graph
+    # evaluator the uncovered descent used (bit-identical to routing and
+    # pricing it from scratch), and the single full ``route_plan`` is
+    # deferred to the winning degree after the reduction.
+    def assemble(
+        tp: int,
+    ) -> Tuple[
+        List[FamilySearch],
+        Optional[Tuple[ShardingPlan, Optional[RoutedPlan], float]],
+    ]:
+        assignment: Dict[str, str] = {}
+        records: List[FamilySearch] = []
+        for idx, (fam, _block) in enumerate(family_blocks):
+            o = outcomes[(tp, idx)]
+            records.append(
+                FamilySearch(
+                    family=fam,
+                    tp_degree=tp,
+                    candidates=o.candidates,
+                    valid=o.valid,
+                    best_assignment=o.best_assignment,
+                    best_cost=o.best_cost,
+                    evaluations=o.evaluations,
+                    cache_hits=o.cache_hits,
+                    bound_skipped=o.bound_skipped,
+                )
+            )
+            if o.best_assignment:
+                if fam is not None:
+                    assignment.update(
+                        _broadcast_assignment(fam, o.best_assignment)
+                    )
+                else:
+                    assignment.update(o.best_assignment)
+        evaluator = (
+            BlockEvaluator(node_graph, registry, tp, cost_model)
+            if engine
+            else None
+        )
+        if uncovered_block is not None:
+            record = search_uncovered(tp, assignment, evaluator)
+            records.append(record)
+            assignment.update(record.best_assignment)
         full_plan = ShardingPlan.of(assignment, tp, name=f"tap-tp{tp}")
+        if engine:
+            status, cost = evaluator.price(assignment)
+            if status != EVAL_VALID:
+                return records, None
+            return records, (full_plan, None, cost)
         try:
             routed_full = route_plan(node_graph, full_plan, registry)
         except RoutingError:
-            continue
-        cost = cost_model.plan_cost(routed_full)
-        if best is None or cost < best.cost:
-            best = SearchResult(
-                plan=full_plan,
-                routed=routed_full,
-                cost=cost,
-                prune=prune,
-            )
+            return records, None
+        return records, (full_plan, routed_full, cost_model.plan_cost(routed_full))
 
-    if best is None:
+    per_tp: Dict[int, Tuple[List[FamilySearch], Optional[Tuple]]] = {}
+    if jobs > 1 and len(degrees) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(assemble, tp): tp for tp in degrees}
+            for fut in as_completed(futures):
+                per_tp[futures[fut]] = fut.result()
+    else:
+        for tp in degrees:
+            per_tp[tp] = assemble(tp)
+
+    # Reduction — fixed ascending-degree order with strict first-wins
+    # comparison, so the winner is independent of jobs/engine settings.
+    winner: Optional[Tuple[ShardingPlan, Optional[RoutedPlan], float]] = None
+    family_records: List[FamilySearch] = []
+    for tp in degrees:
+        records, assembled = per_tp[tp]
+        family_records.extend(records)
+        if assembled is None:
+            continue
+        if winner is None or assembled[2] < winner[2]:
+            winner = assembled
+
+    if winner is None:
         raise RoutingError("no valid plan found for any tensor-parallel degree")
+    full_plan, routed_full, cost = winner
+    # Engine path: no degree was ever routed in full — the winner's
+    # RoutedPlan materialises lazily on first ``.routed`` access.  The
+    # evaluator already validated the plan, so that walk cannot raise.
+    best = SearchResult(
+        plan=full_plan,
+        cost=cost,
+        prune=prune,
+        _routed=routed_full,
+        _route_thunk=lambda: route_plan(node_graph, full_plan, registry),
+    )
     best.families = family_records
-    best.candidates_examined = total_candidates
-    best.valid_plans = total_valid
+    best.candidates_examined = sum(r.candidates for r in family_records)
+    best.valid_plans = sum(r.valid for r in family_records)
+    best.evaluations = sum(r.evaluations for r in family_records)
+    best.cache_hits = sum(r.cache_hits for r in family_records)
+    best.bound_skipped = sum(r.bound_skipped for r in family_records)
     best.search_seconds = time.perf_counter() - start
     return best

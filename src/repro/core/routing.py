@@ -13,7 +13,7 @@ plan invalid — these are the plans Algorithm 2 discards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..graph import OpType, TensorSpec
 from .graphnode import GraphNode, NodeGraph
@@ -27,7 +27,16 @@ from .patterns import (
 )
 from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
 
-__all__ = ["route_plan", "RoutingError", "is_valid", "NONLINEAR_OPS"]
+__all__ = [
+    "route_plan",
+    "route_node",
+    "resolve_pattern",
+    "follow_required",
+    "RoutingError",
+    "is_valid",
+    "NONLINEAR_OPS",
+    "FEATURE_AXIS_OPS",
+]
 
 #: Op types nonlinear in their input: applying them to a PARTIAL value
 #: breaks mathematical equivalence, so a pattern producing P inside such a
@@ -75,11 +84,137 @@ def _required_layout_follow(input_layouts: List[str]) -> str:
     return Layout.R
 
 
+def follow_required(input_layouts, feature_axis: bool) -> str:
+    """Layout a weightless node demands, with the feature-axis correction.
+
+    ``feature_axis`` is whether the node contains an op that reduces over
+    the feature dimension (see :data:`FEATURE_AXIS_OPS`): such nodes cannot
+    run on a feature shard, so an S demand degrades to D/R.  Shared by
+    :func:`route_plan` and the candidate-evaluation engine so both derive
+    identical layouts.
+    """
+    required = _required_layout_follow(input_layouts) if input_layouts else Layout.D
+    if required == Layout.S and feature_axis:
+        required = Layout.D if Layout.D in input_layouts else Layout.R
+    return required
+
+
+def route_node(
+    node: GraphNode,
+    pattern: Optional[ShardingPattern],
+    input_layouts: List[str],
+    input_specs: List[Optional[TensorSpec]],
+    tp: int,
+    conversions: Dict[Tuple[str, str], str],
+    strict: bool = True,
+    claims: Optional[List[Tuple[Tuple[str, str], str]]] = None,
+) -> NodeShard:
+    """Route a single node given its resolved pattern and input layouts.
+
+    This is one iteration of Algorithm 3's walk, factored out so the plain
+    :func:`route_plan` loop, its incremental ``base=`` fast path, and the
+    candidate-evaluation engine all execute the identical code — the
+    determinism guarantee of the memoized search rests on this sharing.
+
+    ``conversions`` is the cross-node dedup table and is mutated in place;
+    every claim added is also appended to ``claims`` (when given) *as it
+    happens*, so a caller can roll the table back if this call raises.
+    """
+    name = node.name
+    if pattern is not None:
+        required = pattern.input_layout
+        out_layout = pattern.output_layout
+        if tp == 1:
+            required = out_layout = Layout.D
+        if out_layout == Layout.P and _has_nonlinearity_after_weight(node):
+            raise RoutingError(
+                f"{name}: pattern {pattern.name!r} leaves a partial value "
+                "under a nonlinearity"
+            )
+    else:
+        # Feature-axis nonlinear ops (a loss over the logits, a norm over
+        # the hidden dim) cannot run on a feature shard.  Softmax is
+        # exempt: in traced attention its reduction axis is the folded
+        # sequence dim, which head-splitting never touches.
+        feature_axis = any(op.op_type in FEATURE_AXIS_OPS for op in node.ops)
+        required = follow_required(input_layouts, feature_axis)
+        out_layout = required
+
+    bwd_input_reduction = pattern is not None and any(
+        which == "input" and coll == "all_reduce"
+        for coll, which in pattern.backward_tp_comms
+    )
+    shard = NodeShard(
+        name=name,
+        kind=node.kind,
+        pattern=pattern.name if pattern else "follow",
+        input_layout=required,
+        output_layout=out_layout,
+        output_spec=node.output_spec,
+        flops=node.flops,
+        bwd_input_reduction=bwd_input_reduction,
+    )
+
+    # --- input conversions ---------------------------------------
+    # Deduplicated per (producer, target layout): one collective's
+    # result serves every consumer demanding the same layout.
+    for src, src_layout, src_spec in zip(node.inputs, input_layouts, input_specs):
+        try:
+            fwd, bwd = conversion_comm(src_layout, required)
+        except InvalidTransition as exc:
+            if strict:
+                raise RoutingError(f"{src} -> {name}: {exc}") from exc
+            fwd, bwd = "all_gather", "reduce_scatter"
+        # Hops into the token-shared R state carry the consumer's
+        # backward semantics: a column-parallel consumer emits partial
+        # input gradients that the hop must reduce (all_reduce when the
+        # producer itself is R, reduce_scatter back to D/S otherwise);
+        # a redundant consumer's gradients are identical copies — the
+        # backward hop is a free slice.
+        if required == Layout.R and src_layout in (
+            Layout.D, Layout.S, Layout.R
+        ):
+            if bwd_input_reduction:
+                bwd = (
+                    "all_reduce" if src_layout == Layout.R else "reduce_scatter"
+                )
+            else:
+                bwd = None
+        if fwd is None and bwd is None:
+            continue
+        key = (src, required)
+        if key in conversions:
+            continue
+        if src_spec is None:
+            continue
+        conversions[key] = fwd or ""
+        if claims is not None:
+            claims.append((key, fwd or ""))
+        if fwd is not None:
+            shard.events.append(
+                CommEvent("forward", fwd, "tp", src_spec, True, name, src=src)
+            )
+        if bwd is not None:
+            shard.events.append(
+                CommEvent("backward", bwd, "tp", src_spec, True, name, src=src)
+            )
+
+    input_spec = None
+    for spec in input_specs:
+        if spec is not None:
+            input_spec = spec
+            break
+    _apply_pattern_effects(shard, node, pattern, tp, input_spec)
+    return shard
+
+
 def route_plan(
     block: NodeGraph,
     plan: ShardingPlan,
     registry: PatternRegistry,
     strict: bool = True,
+    base: Optional[RoutedPlan] = None,
+    changed: Optional[Iterable[str]] = None,
 ) -> RoutedPlan:
     """Elaborate *plan* over *block*; raises :class:`RoutingError` if invalid.
 
@@ -87,108 +222,55 @@ def route_plan(
     visits every node in topological order and fails the moment a hop has
     no pattern pair, so a completed walk *is* a connected chain of sharding
     patterns from every root to every leaf.
+
+    **Incremental fast path** — when ``base`` (a previously routed plan of
+    the same block at the same TP degree) and ``changed`` (every node whose
+    pattern assignment differs from ``base.plan``) are given, the walk
+    reuses the shards of every node topologically *before* the first
+    changed node and re-routes only from there.  A node's routing outcome
+    depends solely on its own pattern, its producers' layouts and the
+    conversion claims of earlier nodes, all of which are unchanged over
+    that prefix, so the result is identical to a full walk.
     """
     tp = plan.tp_degree
     routed = RoutedPlan(plan=plan)
     layouts: Dict[str, str] = {}
+    order = block.topo_order()
+    start = 0
 
-    for name in block.topo_order():
+    if base is not None and changed is not None:
+        if base.plan.tp_degree != tp:
+            raise ValueError("base plan must share the new plan's tp_degree")
+        pos = {n: i for i, n in enumerate(order)}
+        start = min((pos[n] for n in changed if n in pos), default=0)
+        for name in order[:start]:
+            shard = base.shards[name]
+            routed.shards[name] = shard
+            routed.order.append(name)
+            layouts[name] = shard.output_layout
+            node_claims = base.claims.get(name)
+            if node_claims:
+                routed.claims[name] = node_claims
+                for key, value in node_claims:
+                    routed.conversions[key] = value
+
+    for name in order[start:]:
         node = block.node(name)
         input_layouts = [layouts[i] for i in node.inputs]
-
-        if node.weights:
-            pattern = _pattern_for_weight_node(node, plan, registry, tp)
-            required = pattern.input_layout
-            out_layout = pattern.output_layout
-            if tp == 1:
-                required = out_layout = Layout.D
-            if out_layout == Layout.P and _has_nonlinearity_after_weight(node):
-                raise RoutingError(
-                    f"{name}: pattern {pattern.name!r} leaves a partial value "
-                    "under a nonlinearity"
-                )
-        else:
-            pattern = None
-            required = (
-                _required_layout_follow(input_layouts) if input_layouts else Layout.D
-            )
-            # Feature-axis nonlinear ops (a loss over the logits, a norm over
-            # the hidden dim) cannot run on a feature shard.  Softmax is
-            # exempt: in traced attention its reduction axis is the folded
-            # sequence dim, which head-splitting never touches.
-            if required == Layout.S and any(
-                op.op_type in FEATURE_AXIS_OPS for op in node.ops
-            ):
-                required = Layout.D if Layout.D in input_layouts else Layout.R
-            out_layout = required
-
-        bwd_input_reduction = pattern is not None and any(
-            which == "input" and coll == "all_reduce"
-            for coll, which in pattern.backward_tp_comms
+        input_specs = [block.node(i).output_spec for i in node.inputs]
+        pattern = (
+            resolve_pattern(node, plan.pattern_for(name), registry, tp)
+            if node.weights
+            else None
         )
-        shard = NodeShard(
-            name=name,
-            kind=node.kind,
-            pattern=pattern.name if pattern else "follow",
-            input_layout=required,
-            output_layout=out_layout,
-            output_spec=node.output_spec,
-            flops=node.flops,
-            bwd_input_reduction=bwd_input_reduction,
+        claims: List[Tuple[Tuple[str, str], str]] = []
+        shard = route_node(
+            node, pattern, input_layouts, input_specs, tp,
+            routed.conversions, strict=strict, claims=claims,
         )
-
-        # --- input conversions ---------------------------------------
-        # Deduplicated per (producer, target layout): one collective's
-        # result serves every consumer demanding the same layout.
-        for src, src_layout in zip(node.inputs, input_layouts):
-            try:
-                fwd, bwd = conversion_comm(src_layout, required)
-            except InvalidTransition as exc:
-                if strict:
-                    raise RoutingError(f"{src} -> {name}: {exc}") from exc
-                fwd, bwd = "all_gather", "reduce_scatter"
-            # Hops into the token-shared R state carry the consumer's
-            # backward semantics: a column-parallel consumer emits partial
-            # input gradients that the hop must reduce (all_reduce when the
-            # producer itself is R, reduce_scatter back to D/S otherwise);
-            # a redundant consumer's gradients are identical copies — the
-            # backward hop is a free slice.
-            if required == Layout.R and src_layout in (
-                Layout.D, Layout.S, Layout.R
-            ):
-                if bwd_input_reduction:
-                    bwd = (
-                        "all_reduce" if src_layout == Layout.R else "reduce_scatter"
-                    )
-                else:
-                    bwd = None
-            if fwd is None and bwd is None:
-                continue
-            key = (src, required)
-            if key in routed.conversions:
-                continue
-            src_spec = block.node(src).output_spec
-            if src_spec is None:
-                continue
-            routed.conversions[key] = fwd or ""
-            if fwd is not None:
-                shard.events.append(
-                    CommEvent("forward", fwd, "tp", src_spec, True, name, src=src)
-                )
-            if bwd is not None:
-                shard.events.append(
-                    CommEvent("backward", bwd, "tp", src_spec, True, name, src=src)
-                )
-
-        input_spec = None
-        for src in node.inputs:
-            spec = block.node(src).output_spec
-            if spec is not None:
-                input_spec = spec
-                break
-        _apply_pattern_effects(shard, node, pattern, tp, input_spec)
-
-        layouts[name] = out_layout
+        if claims:
+            routed.claims[name] = claims
+        layouts[name] = shard.output_layout
         routed.shards[name] = shard
         routed.order.append(name)
 
@@ -199,13 +281,13 @@ def route_plan(
     return routed
 
 
-def _pattern_for_weight_node(
+def resolve_pattern(
     node: GraphNode,
-    plan: ShardingPlan,
+    pattern_name: str,
     registry: PatternRegistry,
     tp: int,
 ) -> ShardingPattern:
-    pattern_name = plan.pattern_for(node.name)
+    """Look up and validate the pattern *pattern_name* assigns to *node*."""
     if pattern_name == "replicate":
         for p in registry.for_kind(node.kind):
             if p.name == "replicate":
