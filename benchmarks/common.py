@@ -8,6 +8,7 @@ capture so they land in ``bench_output.txt``), and archives them under
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -27,6 +28,18 @@ def emit(name: str, text: str) -> None:
     EMITTED.append((name, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_bench_json(name: str, records: list) -> None:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    The machine-readable companion to :func:`emit`: each record carries a
+    ``model``, the reference and optimized wall-clocks in seconds, and the
+    resulting speed-up, so external tooling can track the hot-path ratios
+    without parsing the archived tables.
+    """
+    path = Path(__file__).parent.parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(records, indent=2) + "\n")
 
 
 def nodes_for(graph):

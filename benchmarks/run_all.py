@@ -1,0 +1,77 @@
+"""Run every figure/table benchmark and refresh ``benchmarks/results/``.
+
+One subprocess per benchmark file (their pytest sessions are independent
+and some pin process-global caches), printing the per-benchmark runtime
+and a final summary.  This is the one-command regeneration of every
+artifact EXPERIMENTS.md cites:
+
+    PYTHONPATH=src python benchmarks/run_all.py [-k pattern]
+
+Exit status is non-zero if any benchmark fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover() -> list:
+    return sorted(BENCH_DIR.glob("test_*.py"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-k", default="", help="only run benchmark files whose name contains this"
+    )
+    args = parser.parse_args(argv)
+
+    files = [f for f in discover() if args.k in f.name]
+    if not files:
+        print(f"no benchmark files match {args.k!r}")
+        return 2
+
+    env_path = f"{REPO_ROOT / 'src'}"
+    results = []
+    total0 = time.perf_counter()
+    for f in files:
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+             f.name],
+            cwd=BENCH_DIR,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": f"{env_path}:{BENCH_DIR}",
+            },
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        dt = time.perf_counter() - t0
+        ok = proc.returncode == 0
+        results.append((f.name, dt, ok))
+        print(f"{'ok  ' if ok else 'FAIL'}  {f.name:42s}  {dt:7.1f}s")
+        if not ok:
+            print(proc.stdout)
+    total = time.perf_counter() - total0
+
+    print()
+    failed = [name for name, _, ok in results if not ok]
+    print(f"{len(results) - len(failed)}/{len(results)} benchmarks passed "
+          f"in {total:.1f}s; results refreshed under benchmarks/results/")
+    if failed:
+        print("failed:", ", ".join(failed))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ def breakdown():
             routed = route_plan(ng, plan, DEFAULT_REGISTRY)
             prof = simulate_iteration(routed, mesh, CFG)
             profiles[(label, name)] = prof
+            d = prof.as_dict()
             rows.append(
                 [
                     f"{label}-{name}",
@@ -42,6 +43,8 @@ def breakdown():
                     f"{prof.comm_time * 1e3:.0f}",
                     f"{prof.exposed_comm_time * 1e3:.0f}",
                     f"{prof.iteration_time * 1e3:.0f}",
+                    d["num_gradient_buckets"],
+                    f"{d['overlap_efficiency']:.0%}",
                 ]
             )
     return rows, profiles
@@ -52,7 +55,8 @@ def test_fig06_time_breakdown(run_once):
     emit(
         "fig06_breakdown",
         format_table(
-            ["plan", "compute (ms)", "comm (ms)", "exposed comm (ms)", "iteration (ms)"],
+            ["plan", "compute (ms)", "comm (ms)", "exposed comm (ms)",
+             "iteration (ms)", "grad buckets", "overlap"],
             rows,
             title="Fig. 6: time breakdown, T5-large plans on 8/16 workers",
         ),

@@ -18,7 +18,7 @@ from repro.core import CostConfig, derive_plan
 from repro.models import resnet_with_classes, t5_with_depth
 from repro.viz import format_table
 
-from common import emit, nodes_for, mesh_16w
+from common import emit, emit_bench_json, nodes_for, mesh_16w
 
 MODELS = (
     ("t5-24L", lambda: t5_with_depth(24), None),
@@ -78,6 +78,15 @@ def test_search_hotpath_engine_speedup(run_once):
               "(mesh 2x8)",
     )
     emit("search_hotpath", table)
+    emit_bench_json("search", [
+        {
+            "model": r["model"],
+            "reference_s": r["ref_seconds"],
+            "optimized_s": r["eng_seconds"],
+            "speedup": r["ref_seconds"] / r["eng_seconds"],
+        }
+        for r in rows
+    ])
 
     for r in rows:
         ref, eng = r["ref"], r["eng"]

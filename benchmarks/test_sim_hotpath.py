@@ -1,0 +1,141 @@
+"""Simulation hot path — segment replay vs. the reference event loop.
+
+Times `simulate_iteration` with the segment-replay fast path (the
+default) against the `reference=True` event loop, on the same two models
+the search hot-path benchmark stresses: a deep T5 (48 layer stacks, the
+shared-subgraph best case) and a ResNet with a ~100K-class head (short
+repeated trunk plus a giant unique head).  Each model simulates the plan
+`derive_plan` actually selects, repeated N times — the shape of every
+consumer of the simulator (fig. 8/11-13 sweeps, the Alpa comparator's
+per-stage costing, pipeline composition), where the same routed plan is
+priced over and over.
+
+The replay path must be a pure accelerator: profiles and the complete
+engine task logs (names, starts, durations — every bit) are asserted
+identical to the reference before any timing is trusted.
+"""
+
+import time
+
+import pytest
+
+from repro.core import CostConfig, derive_plan
+from repro.models import resnet_with_classes, t5_with_depth
+from repro.viz import format_table
+
+from common import emit, emit_bench_json, nodes_for, mesh_16w
+
+MODELS = (
+    ("t5-48L", lambda: t5_with_depth(48), None),
+    ("resnet-100K", lambda: resnet_with_classes(100_000),
+     CostConfig(batch_tokens=1024)),
+)
+
+#: Simulation rounds per path — the repeated-pricing pattern of the
+#: figure sweeps.  The replay timing includes its cold compile (the
+#: plan's tape cache is cleared first), so round 1 pays full price.
+ROUNDS = 30
+
+#: Floor on reference vs. replay wall clock.  Replay typically lands at
+#: 5x-7x warm; the floor is conservative so the assertion stays robust
+#: under machine load.
+MIN_SPEEDUP = 4.0
+
+
+def _logs(prof):
+    """Channel logs as plain tuples: (channel, task name, start, duration)."""
+    out = {}
+    for ch in prof.engine.channels:
+        out[ch.name] = (
+            [(t.name, t.start, t.duration) for t in ch.log],
+            ch.free_at,
+        )
+    return out
+
+
+def _time_rounds(routed, mesh, cfg, reference):
+    """Wall-clock of ROUNDS simulations; replay re-pays its cold compile."""
+    from repro.simulator import simulate_iteration
+
+    if not reference:
+        routed._sim_cache.clear()
+    t0 = time.perf_counter()
+    for _ in range(ROUNDS):
+        simulate_iteration(routed, mesh, cfg, reference=reference)
+    return time.perf_counter() - t0
+
+
+def sweep():
+    mesh = mesh_16w()
+    rows = []
+    for label, build, cfg in MODELS:
+        ng = nodes_for(build())
+        search = derive_plan(ng, mesh, cost_config=cfg)
+        routed = search.routed
+        from repro.simulator import simulate_iteration
+
+        # -- bit-exactness first: profile and full task log, both paths --
+        ref_prof = simulate_iteration(routed, mesh, cfg, reference=True)
+        routed._sim_cache.clear()
+        rep_prof = simulate_iteration(routed, mesh, cfg)
+        assert rep_prof.as_dict() == ref_prof.as_dict(), label
+        assert _logs(rep_prof) == _logs(ref_prof), label
+
+        # best of three timing windows per path — scheduler noise only
+        # ever inflates a window, so the min is the honest number
+        t_ref = min(_time_rounds(routed, mesh, cfg, True) for _ in range(3))
+        t_rep = min(_time_rounds(routed, mesh, cfg, False) for _ in range(3))
+
+        rows.append(
+            {
+                "model": label,
+                "nodes": len(routed.order),
+                "ref_seconds": t_ref,
+                "rep_seconds": t_rep,
+                "segments": rep_prof.segments_detected,
+                "replayed": rep_prof.nodes_replayed,
+            }
+        )
+    return rows
+
+
+@pytest.mark.slow
+def test_sim_hotpath_replay_speedup(run_once):
+    rows = run_once(sweep)
+    table = format_table(
+        ["model", "nodes", f"reference (s, {ROUNDS} rounds)",
+         "replay (s)", "speed-up", "segments", "nodes replayed"],
+        [
+            [
+                r["model"],
+                r["nodes"],
+                f"{r['ref_seconds']:.3f}",
+                f"{r['rep_seconds']:.3f}",
+                f"{r['ref_seconds'] / r['rep_seconds']:.1f}x",
+                r["segments"],
+                r["replayed"],
+            ]
+            for r in rows
+        ],
+        title="simulation hot path: segment replay vs. reference event "
+              "loop (mesh 2x8)",
+    )
+    emit("sim_hotpath", table)
+    emit_bench_json("sim", [
+        {
+            "model": r["model"],
+            "reference_s": r["ref_seconds"],
+            "optimized_s": r["rep_seconds"],
+            "speedup": r["ref_seconds"] / r["rep_seconds"],
+        }
+        for r in rows
+    ])
+
+    for r in rows:
+        # the tape compiler found the layer stacks (ResNet's giant head is
+        # unique, so only its trunk replays — a third is the floor)
+        assert r["segments"] >= 1, r["model"]
+        assert r["replayed"] > r["nodes"] // 3, r["model"]
+        # and the whole point: pricing once, replaying often is faster
+        speedup = r["ref_seconds"] / r["rep_seconds"]
+        assert speedup >= MIN_SPEEDUP, (r["model"], speedup)

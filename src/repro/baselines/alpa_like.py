@@ -84,10 +84,27 @@ class AlpaResult:
     ops_profiled: int = 0
     dp_states_evaluated: int = 0
     intra_choices_evaluated: int = 0
+    #: structurally identical intra-op subproblems (whole stages, or single
+    #: weight-node option scans) replayed from the per-search memo instead
+    #: of re-routed (the counters above still accumulate as if every stage
+    #: had been searched — they measure the algorithm's complexity class,
+    #: not our wall-clock)
+    stage_cache_hits: int = 0
 
     @property
     def iteration_times(self) -> List[float]:
         return [p.iteration_time for p in self.plans]
+
+
+#: (op signature, sample_tokens) -> extrapolated seconds.  The microbench
+#: result is a pure function of the signature (shapes are part of it), so
+#: re-profiling the same operator across sweep points — fig. 9 runs the
+#: same layer stack at every depth — repeats identical numpy matmuls.
+#: ``ops_profiled`` still counts every distinct signature discovered by
+#: walking every node: the cache removes redundant *hardware* work, not
+#: the discovery walk whose growth Table 2 measures.
+_MICROBENCH_CACHE: Dict[Tuple, float] = {}
+_MICROBENCH_CACHE_LIMIT = 4096
 
 
 def _profile_operators(node_graph: NodeGraph, tokens: int) -> Dict[Tuple, float]:
@@ -103,6 +120,10 @@ def _profile_operators(node_graph: NodeGraph, tokens: int) -> Dict[Tuple, float]
         for op in node.ops:
             sig = op.signature()
             if sig in measured or op.weight is None:
+                continue
+            cached = _MICROBENCH_CACHE.get((sig, sample_tokens))
+            if cached is not None:
+                measured[sig] = cached
                 continue
             shape = op.weight.shape
             if len(shape) >= 2:
@@ -120,6 +141,9 @@ def _profile_operators(node_graph: NodeGraph, tokens: int) -> Dict[Tuple, float]
                 measured[sig] = dt * scale
             else:
                 measured[sig] = 0.0
+            if len(_MICROBENCH_CACHE) >= _MICROBENCH_CACHE_LIMIT:
+                _MICROBENCH_CACHE.pop(next(iter(_MICROBENCH_CACHE)))
+            _MICROBENCH_CACHE[(sig, sample_tokens)] = measured[sig]
     return measured
 
 
@@ -136,6 +160,28 @@ def _stage_cost(
     return flops * tokens / (mesh.effective_flops * devices_per_stage)
 
 
+def _stage_fingerprint(
+    node_graph: NodeGraph, stage_nodes: List[str], sig_of: Dict[str, Tuple]
+) -> Tuple:
+    """Structural identity of a stage: node signatures + intra-stage wiring.
+
+    Two stages with the same fingerprint route and price identically (the
+    intra-op pass only looks at the stage subgraph), which is exactly the
+    shared-subgraph structure of a deep model's repeated layer stacks.
+    ``sig_of`` memoises per-node signatures across the stage slicings of
+    one search.
+    """
+    index = {n: i for i, n in enumerate(stage_nodes)}
+    fp = []
+    for n in stage_nodes:
+        sig = sig_of.get(n)
+        if sig is None:
+            sig = sig_of[n] = node_graph.node(n).signature()
+        node = node_graph.node(n)
+        fp.append((sig, tuple(index.get(src, -1) for src in node.inputs)))
+    return tuple(fp)
+
+
 def _intra_op_pass(
     node_graph: NodeGraph,
     stage_nodes: List[str],
@@ -143,28 +189,52 @@ def _intra_op_pass(
     cm: "CostModel",
     devices_per_stage: int,
     result: "AlpaResult",
+    stage_cache: Optional[Dict[Tuple, Tuple[int, int]]] = None,
+    sig_of: Optional[Dict[str, Tuple]] = None,
 ) -> int:
     """Per-stage intra-operator search — the ILP stand-in.
 
     For every weight node of the stage, every applicable sharding option is
     priced by routing a candidate over the stage subgraph and querying the
     communication cost model.  Each query walks the whole stage — exactly
-    the O(E(V+E)) lower bound Table 2 assigns Alpa's inner loop — and no
-    result is shared across the structurally identical stages of a deep
-    model, because this search has no notion of shared subgraphs.  The
+    the O(E(V+E)) lower bound Table 2 assigns Alpa's inner loop.  The
     cost model itself is shared across stages so its device-group and
     pricing caches warm once per search instead of once per stage.
+
+    ``stage_cache`` memoises the whole pass on the stage's structural
+    fingerprint: our *implementation* replays repeated stages instead of
+    re-routing them, but the complexity counters are charged as if it had
+    not (the recorded choice count is added on a hit), so Table 2 / fig. 9
+    still measure the algorithm's no-pruning growth.  Within one stage,
+    candidates are priced through the incremental
+    :class:`~repro.core.evaluate.BlockEvaluator` — bit-identical costs to
+    ``plan_cost(route_plan(...))`` without re-walking the stage prefix per
+    option — again a wall-clock change only.
     """
+    from ..core.evaluate import BlockEvaluator, EVAL_VALID
     from ..core.patterns import DEFAULT_REGISTRY
-    from ..core.plan import ShardingPlan
-    from ..core.routing import RoutingError, route_plan
 
     if devices_per_stage <= 1:
         return 0
-    block = node_graph.subgraph(stage_nodes, name="stage")
     tp = devices_per_stage
     if mesh.num_devices % tp != 0:
         return 0
+    key = None
+    if stage_cache is not None:
+        key = (_stage_fingerprint(node_graph, stage_nodes, sig_of), tp)
+        hit = stage_cache.get(key)
+        if hit is not None:
+            sharded, choices = hit
+            # replay the recorded work: the complexity counters keep their
+            # no-pruning values — only the wall-clock is saved
+            result.intra_choices_evaluated += choices
+            result.stage_cache_hits += 1
+            return sharded
+    choices_before = result.intra_choices_evaluated
+    block = node_graph.subgraph(stage_nodes, name="stage")
+    evaluator = BlockEvaluator(block, DEFAULT_REGISTRY, tp, cm)
+    pos = evaluator.pos
+    prev_changed: Optional[int] = None
     sharded = 0
     for n in stage_nodes:
         node = block.node(n)
@@ -172,20 +242,27 @@ def _intra_op_pass(
             continue
         options = [p.name for p in DEFAULT_REGISTRY.options(node, tp)]
         best_name, best_cost = "replicate", float("inf")
+        p_n = pos[n]
         for option in options:
             result.intra_choices_evaluated += 1
-            try:
-                routed = route_plan(
-                    block, ShardingPlan.of({n: option}, tp), DEFAULT_REGISTRY
-                )
-            except RoutingError:
+            # consecutive candidates differ at the previously sharded node
+            # (back to replicate) and at this one
+            hint = p_n if prev_changed is None else min(prev_changed, p_n)
+            status, cost = evaluator.evaluate(
+                {n: option}, start_hint=hint, incumbent=best_cost
+            )
+            prev_changed = p_n
+            if status != EVAL_VALID:
                 continue
-            cost = cm.plan_cost(routed)
             if cost < best_cost:
                 best_cost = cost
                 best_name = option
         if best_name != "replicate":
             sharded += 1
+    if key is not None:
+        stage_cache[key] = (
+            sharded, result.intra_choices_evaluated - choices_before
+        )
     return sharded
 
 
@@ -205,6 +282,10 @@ def alpa_like_search(
     start = time.perf_counter()
     result = AlpaResult()
     cost_model = CostModel(mesh, cfg)
+    # per-search memo: structurally identical stages (deep models slice
+    # into repeated layer runs) share one intra-op pass
+    stage_cache: Dict[Tuple, Tuple[int, int]] = {}
+    sig_of: Dict[str, Tuple] = {}
 
     order = node_graph.topo_order()
     nodes = [node_graph.node(n) for n in order]
@@ -275,7 +356,7 @@ def alpa_like_search(
             stage_nodes = order[lo:hi]
             sharded = _intra_op_pass(
                 node_graph, stage_nodes, mesh, cost_model, devices_per_stage,
-                result,
+                result, stage_cache, sig_of,
             )
             intra_comm = 0.0
             if sharded and devices_per_stage > 1:

@@ -131,7 +131,7 @@ def cmd_simulate(args) -> int:
     else:
         plan = load_plan(args.plan, ng)
     routed = route_plan(ng, plan, DEFAULT_REGISTRY)
-    prof = simulate_iteration(routed, mesh, cfg)
+    prof = simulate_iteration(routed, mesh, cfg, reference=args.reference)
     mem = memory_per_device(routed, mesh, cfg)
     cost = CostModel(mesh, cfg).plan_cost(routed)
     print(format_table(
@@ -186,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mesh", default="2x8")
     p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
     p.add_argument("--batch-tokens", type=int, default=16 * 512)
+    p.add_argument("--reference", action="store_true",
+                   help="use the reference event loop instead of "
+                        "segment replay (bit-identical, slower)")
     p.set_defaults(func=cmd_simulate)
     return parser
 

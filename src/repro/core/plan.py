@@ -151,6 +151,11 @@ class RoutedPlan:
     claims: Dict[str, List[Tuple[Tuple[str, str], str]]] = field(
         default_factory=dict
     )
+    #: compiled simulation tapes keyed by (mesh, cost config) — populated
+    #: lazily by the segment-replay simulator, never serialised or compared.
+    #: Stale only if shards/order are mutated after a simulation, which no
+    #: caller does (routing builds the plan once, consumers read it).
+    _sim_cache: Dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def tp_degree(self) -> int:

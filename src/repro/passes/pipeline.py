@@ -11,6 +11,7 @@ transfers, and a GPipe-style bubble model.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -92,6 +93,7 @@ def pipeline_with_tap(
     microbatches: int = 8,
     cost_config: Optional[CostConfig] = None,
     registry: PatternRegistry = DEFAULT_REGISTRY,
+    reference: bool = False,
 ) -> HybridPipelinePlan:
     """Slice into stages, run TAP per stage, assemble the hybrid plan.
 
@@ -99,6 +101,8 @@ def pipeline_with_tap(
     stage's sub-mesh keeps the original topology class with
     ``num_devices / num_stages`` devices (whole nodes first).  Microbatches
     shrink the pipeline bubble at the usual (m + s - 1)/m cost model.
+    ``reference`` forwards to each stage's :func:`simulate_iteration`,
+    selecting the reference event loop over segment replay.
     """
     if num_stages < 1:
         raise ValueError("num_stages must be >= 1")
@@ -135,13 +139,8 @@ def pipeline_with_tap(
         )
 
     # each stage sees 1/microbatches of the batch at a time
-    stage_cfg = CostConfig(
-        batch_tokens=max(cfg.batch_tokens // microbatches, 1),
-        packing=cfg.packing,
-        use_efficiency=cfg.use_efficiency,
-        overlap_gradients=cfg.overlap_gradients,
-        objective=cfg.objective,
-        backward_flops_factor=cfg.backward_flops_factor,
+    stage_cfg = dataclasses.replace(
+        cfg, batch_tokens=max(cfg.batch_tokens // microbatches, 1)
     )
 
     stages: List[HybridStage] = []
@@ -151,7 +150,9 @@ def pipeline_with_tap(
         block = node_graph.subgraph(stage_nodes, name=f"stage_{idx}")
         search = derive_plan(block, stage_mesh, registry=registry,
                              cost_config=stage_cfg)
-        profile = simulate_iteration(search.routed, stage_mesh, stage_cfg)
+        profile = simulate_iteration(
+            search.routed, stage_mesh, stage_cfg, reference=reference
+        )
         boundary_spec = (
             node_graph.node(order[hi - 1]).output_spec if hi - 1 >= 0 else None
         )

@@ -10,8 +10,10 @@ hooks:
 
 * :meth:`RecomputePolicy.activation_multiplier` — the memory model drops
   activations of recomputed nodes;
-* :meth:`RecomputePolicy.backward_compute_multiplier` — the simulator adds
-  one extra forward pass for each recomputed segment.
+* :meth:`RecomputePolicy.backward_factor` — the simulator charges each
+  recomputed node one extra forward pass during backward (the aggregate
+  :meth:`RecomputePolicy.backward_compute_multiplier` form remains for
+  closed-form models).
 """
 
 from __future__ import annotations
@@ -43,8 +45,27 @@ class RecomputePolicy:
         """False when this node's output is rematerialised in backward."""
         return node_name not in self.recompute_nodes
 
+    def backward_factor(self, node_name: str, base_factor: float) -> float:
+        """Per-node backward FLOPs factor under this policy.
+
+        A recomputed node replays its forward pass before differentiating,
+        so its backward costs one extra forward (+1.0 on the base factor);
+        checkpointed and unique nodes keep the base factor.  The simulator
+        charges this per node, which keeps the cost where the schedule puts
+        it (and keeps sqrt-N's checkpoint/recompute alternation visible to
+        segment detection) instead of smearing it across the whole pass.
+        """
+        if node_name in self.recompute_nodes:
+            return base_factor + 1.0
+        return base_factor
+
     def backward_compute_multiplier(self) -> float:
-        """Backward compute grows by the recomputed forward fraction."""
+        """Aggregate backward growth from recomputation.
+
+        The coarse, whole-pass form of :meth:`backward_factor` — equal in
+        total FLOPs when compute is uniform.  Kept for closed-form models
+        that have no per-node schedule to charge.
+        """
         return 1.0 + self.recompute_flops_fraction / 2.0
 
 

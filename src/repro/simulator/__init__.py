@@ -1,7 +1,7 @@
 """Discrete-event training simulator: timing, memory, fusion, convergence."""
 
 from .engine import Channel, Engine, Task
-from .iteration import IterationProfile, simulate_iteration
+from .iteration import IterationProfile, detect_segments, simulate_iteration
 from .memory import MemoryReport, memory_per_device
 from .fusion import (
     FUSIBLE_OPS,
@@ -11,7 +11,11 @@ from .fusion import (
     fused_iteration_time,
 )
 from .convergence import LossCurve, ScalingLaw, simulate_training_loss
-from .trace import engine_to_chrome_trace, save_chrome_trace
+from .trace import (
+    engine_to_chrome_trace,
+    profile_to_chrome_trace,
+    save_chrome_trace,
+)
 
 __all__ = [
     "Channel",
@@ -19,6 +23,7 @@ __all__ = [
     "Task",
     "IterationProfile",
     "simulate_iteration",
+    "detect_segments",
     "MemoryReport",
     "memory_per_device",
     "FUSIBLE_OPS",
@@ -30,5 +35,6 @@ __all__ = [
     "ScalingLaw",
     "simulate_training_loss",
     "engine_to_chrome_trace",
+    "profile_to_chrome_trace",
     "save_chrome_trace",
 ]

@@ -14,14 +14,18 @@ paper's backward-phase analysis (§4.6) is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, NamedTuple, Optional, Sequence
 
 __all__ = ["Task", "Channel", "Engine"]
 
 
-@dataclass(frozen=True)
-class Task:
-    """One completed task occurrence on a channel."""
+class Task(NamedTuple):
+    """One completed task occurrence on a channel.
+
+    A NamedTuple rather than a dataclass: the segment-replay simulator
+    creates tens of thousands of these per call and tuple construction is
+    several times cheaper than dataclass ``__init__``.
+    """
 
     name: str
     start: float
@@ -50,6 +54,23 @@ class Channel:
         self.log.append(task)
         return task
 
+    def splice(self, tasks: Sequence[Task], free_at: Optional[float] = None) -> None:
+        """Install a batch of pre-timed tasks (the segment-replay path).
+
+        The tasks carry their own start times — they were timed by an
+        external executor that mirrors :meth:`submit`'s arithmetic — so the
+        channel just adopts the log and advances its clock to the last end
+        (or to an explicit ``free_at`` when the caller tracked it, which
+        avoids re-deriving the float from the log).
+        """
+        if tasks:
+            self.log.extend(tasks)
+            last_end = tasks[-1].end
+            if last_end > self.free_at:
+                self.free_at = last_end
+        if free_at is not None and free_at > self.free_at:
+            self.free_at = free_at
+
     @property
     def busy_time(self) -> float:
         return sum(t.duration for t in self.log)
@@ -59,11 +80,17 @@ class Channel:
         return self.free_at
 
     def idle_time(self) -> float:
-        """Gaps between consecutive tasks (pipeline bubbles)."""
+        """Gaps between consecutive tasks (pipeline bubbles).
+
+        Measured from the channel's *first* task, not from t=0 — a channel
+        that only becomes active late (e.g. a backward-only stream) is not
+        "idle" before it has anything to do.
+        """
         idle = 0.0
-        prev_end = 0.0
+        prev_end: Optional[float] = None
         for t in self.log:
-            idle += max(0.0, t.start - prev_end)
+            if prev_end is not None and t.start > prev_end:
+                idle += t.start - prev_end
             prev_end = t.end
         return idle
 

@@ -15,19 +15,42 @@ compute channel and a communication channel:
 
 The exposed communication time, bubble sizes and phase breakdown come out
 of the channel logs, not from closed-form ``min``/``max`` bounds.
+
+Two implementations produce that timeline:
+
+* ``reference=True`` — the original event loop: every node of every layer
+  instance re-prices its collectives and re-submits its tasks one by one.
+* the default **segment-replay** path — the same observation Algorithm 1
+  applies to the search, applied to the simulator.  Nodes are grouped by
+  structural signature (pattern, flops, compute share, event list — the
+  shared-subgraph families), each signature is priced *once* (collective
+  pricing cached per (collective, nbytes, group); gradient packing
+  memoised on stream content), repeated runs of signatures in
+  ``routed.order`` are detected as segments (:func:`detect_segments`), and
+  the compiled tape is then replayed per instance.  The replay executes the
+  *exact* arithmetic chain of :meth:`Channel.submit` — ``start =
+  max(free, ready)``, ``end = start + duration`` — rather than adding a
+  constant offset to a recorded timeline, because IEEE-754 addition is not
+  associative and a naive time-shift would drift from the reference by
+  ulps.  The result is bit-exact: same :class:`IterationProfile` numbers,
+  same task names, starts and durations in the engine log.
+
+The compiled tape is cached on the :class:`RoutedPlan` per (mesh, config),
+so re-simulating the same plan (fig. 8/11–13 sweeps, the Alpa comparator's
+per-stage costing, pipeline composition) skips pricing entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Mesh, collective_time
 from ..core.cost import CostConfig, CostModel
 from ..core.packing import pack_gradients
 from ..core.plan import RoutedPlan
 
-__all__ = ["IterationProfile", "simulate_iteration"]
+__all__ = ["IterationProfile", "simulate_iteration", "detect_segments"]
 
 
 @dataclass
@@ -42,6 +65,11 @@ class IterationProfile:
     exposed_comm_time: float = 0.0    # comm not hidden behind compute
     gradient_sync_time: float = 0.0   # busy time of gradient buckets
     num_gradient_buckets: int = 0
+    #: replay diagnostics (zero on the reference path): how many repeated
+    #: segments the tape compiler found and how many node instances were
+    #: replayed from a previously-priced signature.
+    segments_detected: int = 0
+    nodes_replayed: int = 0
     #: the engine that produced this profile (for chrome-trace export)
     engine: object = None
 
@@ -61,27 +89,395 @@ class IterationProfile:
             "comm_time": self.comm_time,
             "exposed_comm_time": self.exposed_comm_time,
             "gradient_sync_time": self.gradient_sync_time,
+            "num_gradient_buckets": self.num_gradient_buckets,
+            "overlap_efficiency": self.overlap_efficiency,
         }
 
+
+# ---------------------------------------------------------------------------
+# shared caches (cheap, value-keyed, bounded)
+# ---------------------------------------------------------------------------
+
+#: (mesh, tp_degree) -> ({"tp": g, "dp": g, "all": g}, dp_degree)
+_GROUP_CACHE: Dict[Tuple, Tuple[Dict[str, object], int]] = {}
+_GROUP_CACHE_LIMIT = 256
+
+#: (sizes tuple, PackingConfig) -> tuple of Buckets
+_PACK_CACHE: Dict[Tuple, Tuple] = {}
+_PACK_CACHE_LIMIT = 4096
+
+
+def _groups_for(mesh: Mesh, cfg: CostConfig, tp_degree: int):
+    key = (mesh, tp_degree)
+    got = _GROUP_CACHE.get(key)
+    if got is None:
+        cm = CostModel(mesh, cfg)
+        tp_group, dp_group, all_group = cm.groups(tp_degree)
+        got = (
+            {"tp": tp_group, "dp": dp_group, "all": all_group},
+            cm.dp_degree(tp_degree),
+        )
+        if len(_GROUP_CACHE) >= _GROUP_CACHE_LIMIT:
+            _GROUP_CACHE.pop(next(iter(_GROUP_CACHE)))
+        _GROUP_CACHE[key] = got
+    return got
+
+
+def _packed(sizes: Tuple[int, ...], packing) -> Tuple:
+    """``pack_gradients`` memoised on stream content (as evaluate.py does)."""
+    key = (sizes, packing)
+    got = _PACK_CACHE.get(key)
+    if got is None:
+        got = tuple(pack_gradients(list(sizes), packing))
+        if len(_PACK_CACHE) >= _PACK_CACHE_LIMIT:
+            _PACK_CACHE.pop(next(iter(_PACK_CACHE)))
+        _PACK_CACHE[key] = got
+    return got
+
+
+# ---------------------------------------------------------------------------
+# segment detection
+# ---------------------------------------------------------------------------
+
+def detect_segments(
+    ids: Sequence[int], max_period: int = 128
+) -> List[Tuple[int, int, int]]:
+    """Cover *ids* with maximal tandem repeats: ``(start, period, repeats)``.
+
+    Greedy left-to-right scan: at each position the longest-covering run
+    ``block * repeats`` with period up to *max_period* wins (smallest
+    period on ties, so ``AAAA`` reports period 1, not 2); stretches with no
+    repeat collapse into a single ``(start, span, 1)`` segment.  These are
+    the layer stacks of ``routed.order`` — the same repeated structure
+    Algorithm 1's pruning exploits, one level down.
+    """
+    n = len(ids)
+    segments: List[Tuple[int, int, int]] = []
+    uniq_start = 0
+    i = 0
+    while i < n:
+        best_period = 0
+        best_repeats = 0
+        best_cover = 0
+        limit = min(max_period, (n - i) // 2)
+        for period in range(1, limit + 1):
+            # cheap O(1) guard before the slice comparison
+            if ids[i] != ids[i + period]:
+                continue
+            if ids[i : i + period] != ids[i + period : i + 2 * period]:
+                continue
+            repeats = 2
+            while (
+                i + (repeats + 1) * period <= n
+                and ids[i + repeats * period : i + (repeats + 1) * period]
+                == ids[i : i + period]
+            ):
+                repeats += 1
+            cover = repeats * period
+            if cover > best_cover:
+                best_cover = cover
+                best_period = period
+                best_repeats = repeats
+        if best_cover:
+            if uniq_start < i:
+                segments.append((uniq_start, i - uniq_start, 1))
+            segments.append((i, best_period, best_repeats))
+            i += best_cover
+            uniq_start = i
+        else:
+            i += 1
+    if uniq_start < n:
+        segments.append((uniq_start, n - uniq_start, 1))
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# tape compilation (once per plan x mesh x config)
+# ---------------------------------------------------------------------------
+
+def _event_nbytes(ev, tokens: int, cache: Dict) -> int:
+    # keyed on the structural spec (shape + dtype, not the tensor's name):
+    # nbytes depends on nothing else
+    key = (ev.spec.shape, ev.spec.dtype, ev.scales_with_batch)
+    nb = cache.get(key)
+    if nb is None:
+        nb = ev.nbytes(tokens)
+        cache[key] = nb
+    return nb
+
+
+def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, dp):
+    """Price every distinct node signature once and lay out the replay tape.
+
+    Returns ``(fwd_tape, bwd_tape, bucket_plan, stats)``:
+
+    * ``fwd_tape[i]`` — per node in ``routed.order``: ``(fwd_comm,
+      task_name, seconds)`` with ``fwd_comm`` a tuple of pre-named,
+      pre-priced ``(task_name, seconds)`` collectives;
+    * ``bwd_tape`` — per node in backward (reverse) order: ``(bwd_comm,
+      task_name, seconds, grads)`` where ``grads`` holds the overlappable
+      ``(axis, nbytes)`` gradient packets;
+    * ``bucket_plan`` — per axis, pre-packed gradient buckets as
+      ``(lo, hi, task_name, seconds)`` member slices into the packet
+      stream;
+    * ``stats`` — ``(segments_detected, nodes_replayed)`` from
+      :func:`detect_segments` over the signature sequence.
+    """
+    tokens = max(cfg.batch_tokens // dp, 1)
+    eff = mesh.effective_flops
+    base_factor = cfg.backward_flops_factor
+    use_eff = cfg.use_efficiency
+
+    price_cache: Dict[Tuple, float] = {}
+    nbytes_cache: Dict[Tuple, int] = {}
+
+    def price(collective: str, nbytes: int, axis: str) -> float:
+        key = (collective, nbytes, axis)
+        secs = price_cache.get(key)
+        if secs is None:
+            secs = collective_time(
+                collective, nbytes, groups[axis], use_efficiency=use_eff
+            )
+            price_cache[key] = secs
+        return secs
+
+    sig_table: Dict[Tuple, int] = {}
+    progs: List[Tuple] = []
+    sig_ids: List[int] = []
+    fwd_tape: List[Tuple] = []
+    bwd_tape: List[Tuple] = []
+
+    for name in routed.order:
+        shard = routed.shards[name]
+        rec_node = rec is not None and name in rec.recompute_nodes
+        sig = (
+            shard.pattern,
+            shard.flops,
+            shard.compute_share,
+            rec_node,
+            tuple(
+                # spec identity is structural (shape + dtype); the tensor
+                # *name* differs per layer instance but never affects timing
+                (ev.phase, ev.collective, ev.axis, ev.overlappable,
+                 ev.spec.shape, ev.spec.dtype, ev.scales_with_batch)
+                for ev in shard.events
+            ),
+        )
+        sid = sig_table.get(sig)
+        if sid is None:
+            sid = len(progs)
+            sig_table[sig] = sid
+            fwd: List[Tuple[str, float]] = []
+            bwd: List[Tuple[str, float]] = []
+            grads: List[Tuple[str, int]] = []
+            for ev in shard.events:
+                if ev.phase == "backward" and ev.overlappable:
+                    grads.append((ev.axis, _event_nbytes(ev, tokens, nbytes_cache)))
+                    continue
+                secs = price(
+                    ev.collective, _event_nbytes(ev, tokens, nbytes_cache), ev.axis
+                )
+                if ev.phase == "forward":
+                    fwd.append((f"fwd:{ev.collective}@", secs))
+                else:
+                    bwd.append((f"bwd:{ev.collective}@", secs))
+            # same association order as the reference loop's expressions
+            t_fwd = shard.flops * tokens * shard.compute_share / eff
+            bwd_factor = base_factor + 1.0 if rec_node else base_factor
+            t_bwd = bwd_factor * shard.flops * tokens * shard.compute_share / eff
+            progs.append((tuple(fwd), t_fwd, tuple(bwd), t_bwd, tuple(grads)))
+        sig_ids.append(sid)
+        fwd, t_fwd, bwd, t_bwd, grads = progs[sid]
+        fwd_tape.append(
+            (
+                tuple((prefix + name, secs) for prefix, secs in fwd),
+                "fwd:" + name,
+                t_fwd,
+            )
+        )
+        bwd_tape.append(
+            (
+                tuple((prefix + name, secs) for prefix, secs in bwd),
+                "bwd:" + name,
+                t_bwd,
+                grads,
+            )
+        )
+
+    bwd_tape.reverse()
+
+    # Pre-pack the gradient streams: packet sizes are static per tape, only
+    # their ready times depend on the replayed timeline.
+    stream: Dict[str, List[int]] = {"dp": [], "all": []}
+    for entry in bwd_tape:
+        for axis, nbytes in entry[3]:
+            stream[axis].append(nbytes)
+    bucket_plan: List[Tuple[str, List[Tuple[int, int, str, float]]]] = []
+    for axis in ("dp", "all"):
+        sizes = stream[axis]
+        if not sizes:
+            continue
+        rows: List[Tuple[int, int, str, float]] = []
+        lo = 0
+        for bucket in _packed(tuple(sizes), cfg.packing):
+            hi = lo + bucket.num_tensors
+            rows.append(
+                (lo, hi, "grad:" + axis, price("all_reduce", bucket.nbytes, axis))
+            )
+            lo = hi
+        bucket_plan.append((axis, rows))
+
+    segments = detect_segments(sig_ids)
+    segments_detected = sum(1 for _, _, reps in segments if reps > 1)
+    nodes_replayed = sum(period * (reps - 1) for _, period, reps in segments)
+    return fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed)
+
+
+# ---------------------------------------------------------------------------
+# public entry point
+# ---------------------------------------------------------------------------
 
 def simulate_iteration(
     routed: RoutedPlan,
     mesh: Mesh,
     config: Optional[CostConfig] = None,
     recompute=None,
+    *,
+    reference: bool = False,
 ) -> IterationProfile:
     """Replay one iteration of *routed* on *mesh* at event granularity.
 
     ``recompute`` is an optional :class:`repro.passes.RecomputePolicy`;
     nodes it marks re-run their forward computation during backward
     (gradient checkpointing's time cost).
+
+    ``reference=True`` runs the original per-task event loop instead of
+    the segment-replay fast path.  The two are bit-exact — same profile,
+    same task log — so the flag exists as the escape hatch / oracle for
+    the property tests, mirroring ``derive_plan(engine=False)``.
     """
+    cfg = config or CostConfig()
+    if reference:
+        return _simulate_reference(routed, mesh, cfg, recompute)
+    return _simulate_replay(routed, mesh, cfg, recompute)
+
+
+def _simulate_replay(
+    routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, recompute
+) -> IterationProfile:
+    from .engine import Engine, Task
+
+    rec = recompute if (recompute is not None and recompute.enabled) else None
+    groups, dp = _groups_for(mesh, cfg, routed.tp_degree)
+
+    # Recompute policies carry mutable node sets, so only policy-free tapes
+    # are memoised on the plan; policy runs recompile (still segment-priced).
+    cache_key = (mesh, cfg) if rec is None else None
+    compiled = routed._sim_cache.get(cache_key) if cache_key is not None else None
+    if compiled is None:
+        compiled = _compile_tape(routed, mesh, cfg, rec, groups, dp)
+        if cache_key is not None:
+            routed._sim_cache[cache_key] = compiled
+    fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed) = compiled
+
+    comp_log: List[Task] = []
+    comm_log: List[Task] = []
+    ca = comp_log.append
+    ma = comm_log.append
+    # tuple.__new__ bypasses NamedTuple's python-level __new__ wrapper —
+    # task construction is the hot loop's dominant cost
+    new = tuple.__new__
+    T = Task
+    comp_free = 0.0
+    comm_free = 0.0
+    comp_busy = 0.0
+    comm_busy = 0.0
+
+    # ---- forward: the exact submit() arithmetic, minus the bookkeeping ----
+    for fwd_comm, fwd_name, t_fwd in fwd_tape:
+        ready = comp_free
+        if fwd_comm:
+            for task_name, secs in fwd_comm:
+                start = comm_free if comm_free > ready else ready
+                ma(new(T, (task_name, start, secs)))
+                comm_free = start + secs
+                comm_busy += secs
+                if comm_free > ready:
+                    ready = comm_free
+        ca(new(T, (fwd_name, ready, t_fwd)))
+        comp_free = ready + t_fwd
+        comp_busy += t_fwd
+    forward_time = comp_free if comp_free > comm_free else comm_free
+
+    # ---- backward: reverse tape; overlappable packets remember their end --
+    if forward_time > comp_free:
+        comp_free = forward_time
+    if forward_time > comm_free:
+        comm_free = forward_time
+    dp_ends: List[float] = []
+    all_ends: List[float] = []
+    for bwd_comm, bwd_name, t_bwd, grads in bwd_tape:
+        ready = comp_free
+        if bwd_comm:
+            for task_name, secs in bwd_comm:
+                start = comm_free if comm_free > ready else ready
+                ma(new(T, (task_name, start, secs)))
+                comm_free = start + secs
+                comm_busy += secs
+                if comm_free > ready:
+                    ready = comm_free
+        ca(new(T, (bwd_name, ready, t_bwd)))
+        comp_free = ready + t_bwd
+        comp_busy += t_bwd
+        if grads:
+            for axis, _nb in grads:
+                (dp_ends if axis == "dp" else all_ends).append(comp_free)
+
+    # ---- gradient buckets: pre-packed, fire on last member ----------------
+    gradient_sync_time = 0.0
+    num_buckets = 0
+    for axis, rows in bucket_plan:
+        ends = dp_ends if axis == "dp" else all_ends
+        num_buckets += len(rows)
+        for lo, hi, task_name, secs in rows:
+            ready = ends[lo] if hi - lo == 1 else max(ends[lo:hi])
+            start = comm_free if comm_free > ready else ready
+            ma(new(T, (task_name, start, secs)))
+            comm_free = start + secs
+            comm_busy += secs
+            gradient_sync_time += secs
+
+    iteration_time = comp_free if comp_free > comm_free else comm_free
+
+    engine = Engine()
+    engine.channel("compute").splice(comp_log, free_at=comp_free)
+    engine.channel("comm").splice(comm_log, free_at=comm_free)
+
+    prof = IterationProfile()
+    prof.forward_time = forward_time
+    prof.iteration_time = iteration_time
+    prof.backward_time = iteration_time - forward_time
+    # busy sums were accumulated in log order — the same left-to-right float
+    # additions Channel.busy_time performs
+    prof.compute_time = comp_busy
+    prof.comm_time = comm_busy
+    prof.exposed_comm_time = max(0.0, iteration_time - prof.compute_time)
+    prof.gradient_sync_time = gradient_sync_time
+    prof.num_gradient_buckets = num_buckets
+    prof.segments_detected = segments_detected
+    prof.nodes_replayed = nodes_replayed
+    prof.engine = engine
+    return prof
+
+
+def _simulate_reference(
+    routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, recompute
+) -> IterationProfile:
+    """The original per-task event loop (the replay path's oracle)."""
     from .engine import Engine
 
-    cfg = config or CostConfig()
-    bwd_factor = cfg.backward_flops_factor
-    if recompute is not None and recompute.enabled:
-        bwd_factor *= recompute.backward_compute_multiplier()
+    base_factor = cfg.backward_flops_factor
+    rec = recompute if (recompute is not None and recompute.enabled) else None
     cm = CostModel(mesh, cfg)
     tp_group, dp_group, all_group = cm.groups(routed.tp_degree)
     groups = {"tp": tp_group, "dp": dp_group, "all": all_group}
@@ -137,6 +533,9 @@ def simulate_iteration(
                 continue
             t = comm.submit(f"bwd:{ev.collective}@{name}", comm_seconds(ev), ready=ready)
             ready = max(ready, t.end)
+        bwd_factor = (
+            rec.backward_factor(name, base_factor) if rec is not None else base_factor
+        )
         t_compute = (
             bwd_factor
             * shard.flops

@@ -13,7 +13,11 @@ from typing import Dict, List, Optional
 
 from .engine import Engine
 
-__all__ = ["engine_to_chrome_trace", "save_chrome_trace"]
+__all__ = [
+    "engine_to_chrome_trace",
+    "profile_to_chrome_trace",
+    "save_chrome_trace",
+]
 
 #: Microseconds per simulated second (chrome traces use µs timestamps).
 _US = 1e6
@@ -56,6 +60,59 @@ def engine_to_chrome_trace(
                     "cat": channel.name,
                 }
             )
+    return events
+
+
+def profile_to_chrome_trace(
+    profile, process_name: str = "simulated-device"
+) -> List[Dict]:
+    """Convert an :class:`IterationProfile` into chrome trace events.
+
+    On top of the engine's channel timeline this adds what only the profile
+    knows: forward/backward phase spans on their own thread, and the
+    step-level numbers (overlap efficiency, bucket count, replay
+    diagnostics) as counter args on the phase events — so a trace viewer
+    shows the anatomy of the step, not just its tasks.
+    """
+    if profile.engine is None:
+        raise ValueError("profile has no engine attached")
+    events = engine_to_chrome_trace(profile.engine, process_name)
+    tid = len(profile.engine.channels)
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": "phase"},
+        }
+    )
+    spans = [
+        ("forward", 0.0, profile.forward_time),
+        ("backward", profile.forward_time, profile.backward_time),
+    ]
+    summary = {
+        "overlap_efficiency": profile.overlap_efficiency,
+        "num_gradient_buckets": profile.num_gradient_buckets,
+        "exposed_comm_time": profile.exposed_comm_time,
+        "segments_detected": profile.segments_detected,
+        "nodes_replayed": profile.nodes_replayed,
+    }
+    for name, start, dur in spans:
+        if dur <= 0:
+            continue
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": start * _US,
+                "dur": dur * _US,
+                "cat": "phase",
+                "args": summary,
+            }
+        )
     return events
 
 

@@ -43,6 +43,51 @@ class TestChannel:
         t = c.submit("instant", 0.0)
         assert t.start == t.end == 0.0
 
+    def test_idle_time_measured_from_first_task(self):
+        # a channel that only wakes up late (a backward-only stream) is
+        # not "idle" before it has anything to do
+        c = Channel("comm")
+        c.submit("a", 1.0, ready=10.0)
+        assert c.idle_time() == 0.0
+        c.submit("b", 1.0, ready=13.0)
+        assert c.idle_time() == 2.0
+
+    def test_idle_time_empty_channel(self):
+        assert Channel("c").idle_time() == 0.0
+
+    def test_splice_adopts_pretimed_tasks(self):
+        from repro.simulator import Task
+
+        c = Channel("c")
+        c.splice([Task("a", 1.0, 2.0), Task("b", 3.5, 1.0)])
+        assert [t.name for t in c.log] == ["a", "b"]
+        assert c.free_at == 4.5
+        assert c.busy_time == 3.0
+        assert c.idle_time() == 0.5
+
+    def test_splice_explicit_free_at(self):
+        from repro.simulator import Task
+
+        c = Channel("c")
+        c.splice([Task("a", 0.0, 1.0)], free_at=7.0)
+        assert c.free_at == 7.0
+        # a lagging explicit clock never rewinds the channel
+        c.splice([Task("b", 7.0, 2.0)], free_at=1.0)
+        assert c.free_at == 9.0
+
+    def test_splice_empty_is_noop(self):
+        c = Channel("c")
+        c.splice([])
+        assert c.log == [] and c.free_at == 0.0
+
+    def test_submit_continues_after_splice(self):
+        from repro.simulator import Task
+
+        c = Channel("c")
+        c.splice([Task("a", 0.0, 3.0)])
+        t = c.submit("b", 1.0)
+        assert t.start == 3.0 and c.free_at == 4.0
+
 
 class TestEngine:
     def test_channels_created_on_demand(self):

@@ -9,6 +9,7 @@ from repro.models import TransformerConfig, build_t5
 from repro.simulator import (
     Engine,
     engine_to_chrome_trace,
+    profile_to_chrome_trace,
     save_chrome_trace,
     simulate_iteration,
 )
@@ -57,3 +58,66 @@ class TestTraceExport:
         assert any(n.startswith("fwd:") for n in names)
         assert any(n.startswith("bwd:") for n in names)
         assert any(n.startswith("grad:") for n in names)
+
+
+def t5_profile(reference=False):
+    g = build_t5(TransformerConfig(encoder_layers=2, decoder_layers=2,
+                                   hidden=64, ffn_dim=128, num_heads=4,
+                                   vocab=128))
+    trimmed, _ = trim_auxiliary(g)
+    ng = coarsen(trimmed)
+    routed = route_plan(ng, ShardingPlan.of({}, 1), DEFAULT_REGISTRY)
+    return simulate_iteration(routed, paper_testbed(), reference=reference)
+
+
+class TestReplayedLogTrace:
+    """Spliced (replayed) logs export identically to submitted ones."""
+
+    def test_replay_trace_matches_reference_trace(self):
+        ref = engine_to_chrome_trace(t5_profile(reference=True).engine)
+        rep = engine_to_chrome_trace(t5_profile(reference=False).engine)
+        assert rep == ref
+
+    def test_save_roundtrip_from_replay(self, tmp_path):
+        prof = t5_profile()
+        path = tmp_path / "trace.json"
+        save_chrome_trace(prof.engine, path)
+        doc = json.loads(path.read_text())
+        exported = [
+            (ev["name"], ev["ts"], ev["dur"], ev["cat"])
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "X"
+        ]
+        expected = [
+            (t.name, t.start * 1e6, t.duration * 1e6, ch.name)
+            for ch in prof.engine.channels
+            for t in ch.log
+        ]
+        assert exported == expected
+
+
+class TestProfileTrace:
+    def test_phase_spans_and_summary_args(self):
+        prof = t5_profile()
+        events = profile_to_chrome_trace(prof)
+        phases = [ev for ev in events if ev.get("cat") == "phase"]
+        assert {ev["name"] for ev in phases} == {"forward", "backward"}
+        fwd = next(ev for ev in phases if ev["name"] == "forward")
+        assert fwd["ts"] == 0.0
+        assert fwd["dur"] == prof.forward_time * 1e6
+        assert fwd["args"]["num_gradient_buckets"] == prof.num_gradient_buckets
+        assert fwd["args"]["overlap_efficiency"] == prof.overlap_efficiency
+
+    def test_includes_all_channel_events(self):
+        prof = t5_profile()
+        events = profile_to_chrome_trace(prof)
+        engine_only = engine_to_chrome_trace(prof.engine)
+        assert events[: len(engine_only)] == engine_only
+
+    def test_requires_engine(self):
+        import pytest
+
+        from repro.simulator import IterationProfile
+
+        with pytest.raises(ValueError):
+            profile_to_chrome_trace(IterationProfile())
