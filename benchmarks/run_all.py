@@ -64,6 +64,12 @@ def main(argv=None) -> int:
     total = time.perf_counter() - total0
 
     print()
+    width = max(len(name) for name, _, _ in results)
+    print(f"{'benchmark':{width}s}  {'time':>8s}  status")
+    print(f"{'-' * width}  {'-' * 8}  ------")
+    for name, dt, ok in results:
+        print(f"{name:{width}s}  {dt:7.1f}s  {'pass' if ok else 'FAIL'}")
+    print(f"{'-' * width}  {'-' * 8}  ------")
     failed = [name for name, _, ok in results if not ok]
     print(f"{len(results) - len(failed)}/{len(results)} benchmarks passed "
           f"in {total:.1f}s; results refreshed under benchmarks/results/")

@@ -13,12 +13,22 @@ Commands
 ``simulate``
     Price a named plan (dp / mha_only / ffn_only / megatron / a saved
     JSON plan) on a mesh: step time, breakdown, per-device memory.
+``verify``
+    Static analysis: ``verify plan`` re-checks a derived or saved plan
+    against the sharding invariants (divisibility, pattern chains,
+    collective legality, packing) without simulating; ``verify lint``
+    runs the AST rules guarding the memoization layers over the source
+    tree.  Both exit non-zero on findings.
+
+``plan`` and ``simulate`` run the plan verifier automatically (it is
+rule-based and cheap); ``--no-verify`` is the escape hatch.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .cluster import Mesh, paper_testbed
@@ -26,9 +36,11 @@ from .core import (
     CostConfig,
     CostModel,
     DEFAULT_REGISTRY,
+    RoutingError,
     coarsen,
     derive_plan,
     load_plan,
+    rewrite_graph,
     route_plan,
     save_plan,
 )
@@ -94,12 +106,22 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _print_verification(report, label: str) -> None:
+    if report.ok:
+        print(f"verification ({label}): ok — "
+              f"{report.rules_checked} rules, no errors")
+    else:
+        print(f"verification ({label}) FAILED:")
+        print(report.describe())
+
+
 def cmd_plan(args) -> int:
     _, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
+    cfg = CostConfig(batch_tokens=args.batch_tokens)
     result = derive_plan(
         ng, mesh,
-        cost_config=CostConfig(batch_tokens=args.batch_tokens),
+        cost_config=cfg,
         min_duplicate=args.min_duplicate,
         engine=not args.no_engine,
         jobs=args.jobs,
@@ -115,6 +137,14 @@ def cmd_plan(args) -> int:
     print(f"cost: {result.cost * 1e3:.2f} ms (communication objective)")
     print()
     print(render_plan(ng, result.plan, title="discovered plan"))
+    if not args.no_verify:
+        from .verify import verify_routed
+
+        report = verify_routed(ng, result.routed, mesh, cfg)
+        print()
+        _print_verification(report, "routed plan")
+        if not report.ok:
+            return 1
     if args.output:
         save_plan(result.plan, args.output)
         print(f"\nplan saved to {args.output}")
@@ -129,8 +159,15 @@ def cmd_simulate(args) -> int:
     if args.plan in NAMED_PLANS:
         plan = NAMED_PLANS[args.plan](ng, args.tp)
     else:
-        plan = load_plan(args.plan, ng)
+        plan = load_plan(args.plan, ng, verify=not args.no_verify)
     routed = route_plan(ng, plan, DEFAULT_REGISTRY)
+    if not args.no_verify:
+        from .verify import verify_routed
+
+        report = verify_routed(ng, routed, mesh, cfg)
+        if not report.ok:
+            _print_verification(report, "routed plan")
+            return 1
     prof = simulate_iteration(routed, mesh, cfg, reference=args.reference)
     mem = memory_per_device(routed, mesh, cfg)
     cost = CostModel(mesh, cfg).plan_cost(routed)
@@ -147,6 +184,59 @@ def cmd_simulate(args) -> int:
         ]],
         title=f"{args.model} on {mesh}",
     ))
+    return 0
+
+
+def cmd_verify_plan(args) -> int:
+    from .verify import verify_plan, verify_rewrite, verify_routed
+
+    graph, ng = _prep(args.model)
+    mesh = _parse_mesh(args.mesh, args.fabric)
+    cfg = CostConfig(batch_tokens=args.batch_tokens)
+
+    if args.plan is None:
+        plan = derive_plan(ng, mesh, cost_config=cfg).plan
+        source = "derived"
+    elif args.plan in NAMED_PLANS:
+        plan = NAMED_PLANS[args.plan](ng, args.tp)
+        source = args.plan
+    else:
+        # verify=False: the point of this command is to *report* problems,
+        # not to have the loader raise on the first one
+        try:
+            plan = load_plan(args.plan, ng, verify=False)
+        except OSError as exc:
+            raise SystemExit(f"cannot read plan {args.plan!r}: {exc}")
+        source = args.plan
+
+    report = verify_plan(ng, plan, mesh)
+    try:
+        routed = route_plan(ng, plan, DEFAULT_REGISTRY)
+    except RoutingError as exc:
+        print(f"plan ({source}): routing rejects it — {exc}")
+        _print_verification(report, "plan")
+        return 1
+    report = verify_routed(ng, routed, mesh, cfg)
+    trimmed, record = trim_auxiliary(graph)
+    rewrite = rewrite_graph(
+        trimmed, ng, routed, trim_record=record, packing=cfg.packing
+    )
+    report.extend(verify_rewrite(ng, routed, rewrite, packing=cfg.packing))
+    _print_verification(report, f"{args.model} / {source}")
+    return 0 if report.ok else 1
+
+
+def cmd_verify_lint(args) -> int:
+    from .verify import lint_paths
+
+    paths = args.paths or [str(Path(__file__).parent)]
+    diagnostics = lint_paths(paths)
+    for d in diagnostics:
+        print(d.format())
+    if diagnostics:
+        print(f"{len(diagnostics)} lint finding(s)")
+        return 1
+    print("lint: clean")
     return 0
 
 
@@ -176,6 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the reference per-candidate loop instead of "
                         "the memoized evaluation engine")
     p.add_argument("-o", "--output", help="save the plan as JSON")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the static plan verifier")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("simulate", help="price a named or saved plan")
@@ -189,7 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reference", action="store_true",
                    help="use the reference event loop instead of "
                         "segment replay (bit-identical, slower)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the static plan verifier")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("verify", help="static analysis (plan checker, lint)")
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+
+    v = vsub.add_parser("plan", help="re-check a plan against the "
+                                     "sharding invariants (no simulation)")
+    v.add_argument("model", choices=sorted(MODEL_PRESETS))
+    v.add_argument("--plan", default=None,
+                   help="dp|mha_only|ffn_only|megatron or a JSON plan path "
+                        "(default: derive one)")
+    v.add_argument("--tp", type=int, default=8)
+    v.add_argument("--mesh", default="2x8")
+    v.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
+    v.add_argument("--batch-tokens", type=int, default=16 * 512)
+    v.set_defaults(func=cmd_verify_plan)
+
+    v = vsub.add_parser("lint", help="AST rules over the source tree")
+    v.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    v.set_defaults(func=cmd_verify_lint)
     return parser
 
 

@@ -41,9 +41,13 @@ from .strategies import STRATEGIES, StrategyResult, search_block
 from .serialize import (
     PlanLoadError,
     load_plan,
+    load_routed,
     plan_from_json,
     plan_to_json,
+    routed_from_json,
+    routed_to_json,
     save_plan,
+    save_routed,
 )
 from .api import ParallelizedModel, auto_parallel, split
 
@@ -96,9 +100,13 @@ __all__ = [
     "search_block",
     "PlanLoadError",
     "load_plan",
+    "load_routed",
     "plan_from_json",
     "plan_to_json",
+    "routed_from_json",
+    "routed_to_json",
     "save_plan",
+    "save_routed",
     "ParallelizedModel",
     "auto_parallel",
     "split",

@@ -181,7 +181,9 @@ class CostModel:
         the direct computation produces, keeping cached and fresh pricing
         bit-identical.
         """
-        key = (id(shard), tokens_per_replica)
+        # safe id-key: the cached entry pins the shard (strong ref) and the
+        # hit path re-checks identity below, so a recycled id can never alias
+        key = (id(shard), tokens_per_replica)  # repro-lint: ignore[cache-key]
         hit = self._shard_terms_cache.get(key)
         if hit is not None and hit[0] is shard:
             return hit[1], hit[2]

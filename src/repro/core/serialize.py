@@ -5,19 +5,30 @@ paper scale, and the same plan applies to every training run of the model
 on the same mesh.  Plans serialise to a small, stable JSON document; a
 round-trip through :func:`plan_to_json` / :func:`plan_from_json` is exact.
 
+Routed plans serialise too (:func:`routed_to_json`): all their payload is
+ints, strings and exactly representable floats, so a round-trip re-prices
+and re-simulates bit-identically.  Cache fields declared with
+``compare=False`` (``RoutedPlan._sim_cache``) are *never* written and are
+always reinitialised empty on load — a serialised cache could silently
+replay tapes priced for a different library version.
+
 The schema is versioned so saved plans survive library evolution, and
 loading validates against the target NodeGraph when one is supplied (a
 plan for a different architecture fails fast instead of silently
-replicating everything).
+replicating everything); by default loading also runs the static verifier
+(:mod:`repro.verify`) when a graph is available — ``verify=False`` skips
+it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..graph import TensorSpec
 from .graphnode import NodeGraph
-from .plan import ShardingPlan
+from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -26,9 +37,18 @@ __all__ = [
     "plan_from_json",
     "save_plan",
     "load_plan",
+    "routed_to_json",
+    "routed_from_json",
+    "save_routed",
+    "load_routed",
 ]
 
 SCHEMA_VERSION = 1
+
+
+def _cache_field_names(cls) -> FrozenSet[str]:
+    """Names of *cls*'s ``compare=False`` cache fields — never serialised."""
+    return frozenset(f.name for f in dataclasses.fields(cls) if not f.compare)
 
 
 class PlanLoadError(ValueError):
@@ -48,13 +68,16 @@ def plan_to_json(plan: ShardingPlan, indent: Optional[int] = 2) -> str:
 
 
 def plan_from_json(
-    text: str, node_graph: Optional[NodeGraph] = None
+    text: str, node_graph: Optional[NodeGraph] = None, verify: bool = True
 ) -> ShardingPlan:
     """Parse a serialised plan; optionally validate against *node_graph*.
 
     Validation checks that every assigned node exists and carries weights —
     assignments to unknown nodes indicate the plan belongs to a different
     model (or model version) and would otherwise be silently ignored.
+    With a graph and ``verify=True`` (the default) the static verifier
+    additionally re-checks divisibility and pattern-chain connectivity;
+    a failing plan raises :class:`PlanLoadError` carrying the diagnostics.
     """
     try:
         doc = json.loads(text)
@@ -83,7 +106,23 @@ def plan_from_json(
             raise PlanLoadError(
                 f"plan references nodes absent from the graph: {unknown[:5]}"
             )
-    return ShardingPlan.of(assignment, tp_degree, name=str(doc.get("name", "")))
+    plan = ShardingPlan.of(assignment, tp_degree, name=str(doc.get("name", "")))
+    if node_graph is not None and verify:
+        _verify_loaded_plan(node_graph, plan)
+    return plan
+
+
+def _verify_loaded_plan(node_graph: NodeGraph, plan: ShardingPlan) -> None:
+    # Lazy import: repro.core's package init imports this module, and the
+    # verifier imports back into repro.core — resolving it at call time
+    # keeps the package import acyclic.
+    from ..verify import verify_plan
+
+    report = verify_plan(node_graph, plan)
+    if not report.ok:
+        raise PlanLoadError(
+            f"loaded plan fails static verification:\n{report.describe()}"
+        )
 
 
 def save_plan(plan: ShardingPlan, path) -> None:
@@ -93,7 +132,196 @@ def save_plan(plan: ShardingPlan, path) -> None:
         fh.write("\n")
 
 
-def load_plan(path, node_graph: Optional[NodeGraph] = None) -> ShardingPlan:
+def load_plan(
+    path, node_graph: Optional[NodeGraph] = None, verify: bool = True
+) -> ShardingPlan:
     """Read a plan from *path*, optionally validating against a graph."""
     with open(path) as fh:
-        return plan_from_json(fh.read(), node_graph)
+        return plan_from_json(fh.read(), node_graph, verify=verify)
+
+
+# ---------------------------------------------------------------------------
+# routed plans
+# ---------------------------------------------------------------------------
+
+def _spec_to_doc(spec: Optional[TensorSpec]):
+    if spec is None:
+        return None
+    return {"shape": list(spec.shape), "dtype": spec.dtype, "name": spec.name}
+
+
+def _spec_from_doc(doc) -> Optional[TensorSpec]:
+    if doc is None:
+        return None
+    try:
+        return TensorSpec(tuple(doc["shape"]), doc["dtype"], doc.get("name", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanLoadError(f"invalid tensor spec {doc!r}: {exc}") from exc
+
+
+def _event_to_doc(ev: CommEvent) -> Dict:
+    return {
+        "phase": ev.phase,
+        "collective": ev.collective,
+        "axis": ev.axis,
+        "spec": _spec_to_doc(ev.spec),
+        "scales_with_batch": ev.scales_with_batch,
+        "node": ev.node,
+        "overlappable": ev.overlappable,
+        "src": ev.src,
+    }
+
+
+def _event_from_doc(doc) -> CommEvent:
+    try:
+        return CommEvent(
+            phase=doc["phase"],
+            collective=doc["collective"],
+            axis=doc["axis"],
+            spec=_spec_from_doc(doc["spec"]),
+            scales_with_batch=bool(doc["scales_with_batch"]),
+            node=doc["node"],
+            overlappable=bool(doc.get("overlappable", False)),
+            src=doc.get("src", ""),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanLoadError(f"invalid comm event {doc!r}: {exc}") from exc
+
+
+def routed_to_json(routed: RoutedPlan, indent: Optional[int] = 2) -> str:
+    """Serialise a fully routed plan to JSON.
+
+    Every ``compare=False`` cache field (``_sim_cache`` today, anything
+    added later) is skipped by construction: the document is built from
+    the dataclass's *comparable* fields only.
+    """
+    skip = _cache_field_names(RoutedPlan)
+    assert "_sim_cache" in skip  # the field this guard exists for
+    shards = {}
+    for name, s in routed.shards.items():
+        shards[name] = {
+            "name": s.name,
+            "kind": s.kind,
+            "pattern": s.pattern,
+            "input_layout": s.input_layout,
+            "output_layout": s.output_layout,
+            "local_weight_bytes": s.local_weight_bytes,
+            "full_weight_bytes": s.full_weight_bytes,
+            "local_parameters": s.local_parameters,
+            "compute_share": s.compute_share,
+            "flops": s.flops,
+            "bwd_input_reduction": s.bwd_input_reduction,
+            "output_spec": _spec_to_doc(s.output_spec),
+            "events": [_event_to_doc(ev) for ev in s.events],
+        }
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "kind": "repro.routed_plan",
+        "plan": {
+            "name": routed.plan.name,
+            "tp_degree": routed.plan.tp_degree,
+            "assignment": dict(routed.plan.assignment),
+        },
+        "order": list(routed.order),
+        "conversions": [
+            [src, layout, coll]
+            for (src, layout), coll in routed.conversions.items()
+        ],
+        "claims": {
+            name: [[src, layout, coll] for (src, layout), coll in claims]
+            for name, claims in routed.claims.items()
+        },
+        "shards": shards,
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def routed_from_json(
+    text: str, node_graph: Optional[NodeGraph] = None, verify: bool = True
+) -> RoutedPlan:
+    """Parse a serialised routed plan.
+
+    Cache fields come back *empty* regardless of document content (a
+    document claiming to carry one is rejected as corrupt).  With a graph
+    and ``verify=True`` the full static verifier runs over the result.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "repro.routed_plan":
+        raise PlanLoadError("document is not a serialised routed plan")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise PlanLoadError(
+            f"unsupported schema version {doc.get('schema')!r} "
+            f"(this library reads version {SCHEMA_VERSION})"
+        )
+    for cached in _cache_field_names(RoutedPlan):
+        if cached in doc:
+            raise PlanLoadError(
+                f"document carries cache field {cached!r}; caches are "
+                "never serialised"
+            )
+    try:
+        plan_doc = doc["plan"]
+        plan = ShardingPlan.of(
+            dict(plan_doc["assignment"]),
+            int(plan_doc["tp_degree"]),
+            name=str(plan_doc.get("name", "")),
+        )
+        routed = RoutedPlan(plan=plan)
+        routed.order = [str(n) for n in doc["order"]]
+        routed.conversions = {
+            (src, layout): coll for src, layout, coll in doc["conversions"]
+        }
+        routed.claims = {
+            name: [((src, layout), coll) for src, layout, coll in claims]
+            for name, claims in doc["claims"].items()
+        }
+        for name, sd in doc["shards"].items():
+            routed.shards[name] = NodeShard(
+                name=sd["name"],
+                kind=sd["kind"],
+                pattern=sd["pattern"],
+                input_layout=sd["input_layout"],
+                output_layout=sd["output_layout"],
+                local_weight_bytes=int(sd["local_weight_bytes"]),
+                full_weight_bytes=int(sd["full_weight_bytes"]),
+                local_parameters=int(sd["local_parameters"]),
+                compute_share=float(sd["compute_share"]),
+                flops=int(sd["flops"]),
+                bwd_input_reduction=bool(sd["bwd_input_reduction"]),
+                output_spec=_spec_from_doc(sd["output_spec"]),
+                events=[_event_from_doc(e) for e in sd["events"]],
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        if isinstance(exc, PlanLoadError):
+            raise
+        raise PlanLoadError(f"malformed routed-plan document: {exc}") from exc
+
+    assert routed._sim_cache == {}, "cache fields must reinitialise empty"
+    if node_graph is not None and verify:
+        from ..verify import verify_routed
+
+        report = verify_routed(node_graph, routed)
+        if not report.ok:
+            raise PlanLoadError(
+                "loaded routed plan fails static verification:\n"
+                f"{report.describe()}"
+            )
+    return routed
+
+
+def save_routed(routed: RoutedPlan, path) -> None:
+    """Write a routed plan to *path* as JSON."""
+    with open(path, "w") as fh:
+        fh.write(routed_to_json(routed))
+        fh.write("\n")
+
+
+def load_routed(
+    path, node_graph: Optional[NodeGraph] = None, verify: bool = True
+) -> RoutedPlan:
+    """Read a routed plan from *path*, optionally verifying against a graph."""
+    with open(path) as fh:
+        return routed_from_json(fh.read(), node_graph, verify=verify)

@@ -50,7 +50,12 @@ from ..core.cost import CostConfig, CostModel
 from ..core.packing import pack_gradients
 from ..core.plan import RoutedPlan
 
-__all__ = ["IterationProfile", "simulate_iteration", "detect_segments"]
+__all__ = [
+    "IterationProfile",
+    "simulate_iteration",
+    "detect_segments",
+    "tape_invariants",
+]
 
 
 @dataclass
@@ -331,6 +336,92 @@ def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, 
     segments_detected = sum(1 for _, _, reps in segments if reps > 1)
     nodes_replayed = sum(period * (reps - 1) for _, period, reps in segments)
     return fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed)
+
+
+# ---------------------------------------------------------------------------
+# tape invariants (consumed by repro.verify's sim/tape rule)
+# ---------------------------------------------------------------------------
+
+def tape_invariants(routed: RoutedPlan, compiled) -> List[str]:
+    """Structural invariants a compiled replay tape must satisfy.
+
+    Returns human-readable problem strings (empty = consistent).  The
+    checks are pure shape/name arithmetic — no pricing, no replay — so a
+    verifier can vet every cached tape in ``routed._sim_cache`` cheaply:
+
+    * one forward and one backward entry per node of ``routed.order``,
+      with backward entries in exact reverse order;
+    * no negative duration anywhere (compute, collectives, buckets);
+    * bucket rows per axis are contiguous, start at 0, and cover exactly
+      the gradient packets the backward tape emits on that axis.
+    """
+    problems: List[str] = []
+    try:
+        fwd_tape, bwd_tape, bucket_plan, _stats = compiled
+    except (TypeError, ValueError):
+        return ["tape is not a (fwd, bwd, buckets, stats) quadruple"]
+    n = len(routed.order)
+    if len(fwd_tape) != n:
+        problems.append(f"forward tape has {len(fwd_tape)} entries for {n} nodes")
+    if len(bwd_tape) != n:
+        problems.append(f"backward tape has {len(bwd_tape)} entries for {n} nodes")
+
+    grad_counts = {"dp": 0, "all": 0}
+    for i, entry in enumerate(bwd_tape):
+        comms, task_name, secs, grads = entry
+        if i < n and task_name != "bwd:" + routed.order[n - 1 - i]:
+            problems.append(
+                f"backward tape entry {i} is {task_name!r}, expected "
+                f"{'bwd:' + routed.order[n - 1 - i]!r} (reverse order)"
+            )
+        if secs < 0:
+            problems.append(f"negative backward compute duration at {task_name!r}")
+        for _cname, csecs in comms:
+            if csecs < 0:
+                problems.append(f"negative collective duration under {task_name!r}")
+        for axis, nbytes in grads:
+            if axis not in grad_counts:
+                problems.append(f"unknown gradient axis {axis!r} at {task_name!r}")
+            elif nbytes < 0:
+                problems.append(f"negative gradient bytes at {task_name!r}")
+            else:
+                grad_counts[axis] += 1
+    for i, entry in enumerate(fwd_tape):
+        comms, task_name, secs = entry
+        if i < n and task_name != "fwd:" + routed.order[i]:
+            problems.append(
+                f"forward tape entry {i} is {task_name!r}, expected "
+                f"{'fwd:' + routed.order[i]!r}"
+            )
+        if secs < 0:
+            problems.append(f"negative forward compute duration at {task_name!r}")
+        for _cname, csecs in comms:
+            if csecs < 0:
+                problems.append(f"negative collective duration under {task_name!r}")
+
+    covered = {"dp": 0, "all": 0}
+    for axis, rows in bucket_plan:
+        if axis not in grad_counts:
+            problems.append(f"bucket plan names unknown axis {axis!r}")
+            continue
+        expect_lo = 0
+        for lo, hi, task_name, secs in rows:
+            if lo != expect_lo or hi <= lo:
+                problems.append(
+                    f"bucket rows on axis {axis!r} are not contiguous "
+                    f"([{lo}, {hi}) after {expect_lo})"
+                )
+            if secs < 0:
+                problems.append(f"negative bucket duration at {task_name!r}")
+            expect_lo = hi
+        covered[axis] = expect_lo
+    for axis, count in grad_counts.items():
+        if covered.get(axis, 0) != count:
+            problems.append(
+                f"bucket rows on axis {axis!r} cover {covered.get(axis, 0)} "
+                f"packets; the tape emits {count}"
+            )
+    return problems
 
 
 # ---------------------------------------------------------------------------

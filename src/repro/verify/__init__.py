@@ -1,0 +1,33 @@
+"""Static verification: a sharding "type checker" for TAP plans.
+
+Two halves, both rule-based and simulator-free:
+
+* :mod:`repro.verify.plan_checks` — verify a :class:`ShardingPlan`, a
+  :class:`RoutedPlan` or a :class:`RewriteResult` against the invariants
+  the search, the cost model and the simulator all assume (dimension
+  divisibility, pattern-chain connectivity, collective legality,
+  gradient-packing conservation, cost sanity, cached-tape shape).
+* :mod:`repro.verify.lint` — AST rules over the codebase itself, guarding
+  the invariants the memoization layers depend on (no frozen-dataclass
+  mutation, structural cache keys, no set-ordered output, no wall-clock
+  reads in pricing code).
+
+Both emit structured :class:`Diagnostic` records and are wired into the
+CLI as ``repro verify plan`` / ``repro verify lint``.
+"""
+
+from .diagnostics import Diagnostic, VerificationReport, PlanVerificationError
+from .plan_checks import verify_plan, verify_routed, verify_rewrite
+from .lint import LINT_RULES, lint_paths, lint_source
+
+__all__ = [
+    "Diagnostic",
+    "VerificationReport",
+    "PlanVerificationError",
+    "verify_plan",
+    "verify_routed",
+    "verify_rewrite",
+    "LINT_RULES",
+    "lint_paths",
+    "lint_source",
+]

@@ -63,3 +63,45 @@ class TestSimulate:
     def test_dp_plan(self, capsys):
         assert main(["simulate", "bert_large", "--plan", "dp",
                      "--mesh", "1x2"]) == 0
+
+
+class TestVerify:
+    def test_verify_named_plan(self, capsys):
+        assert main(["verify", "plan", "bert_large", "--plan", "megatron",
+                     "--mesh", "1x8"]) == 0
+        out = capsys.readouterr().out
+        assert "verification" in out and "ok" in out
+
+    def test_verify_saved_plan(self, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024", "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["verify", "plan", "clip_base", "--plan", str(path),
+                     "--mesh", "1x4"]) == 0
+
+    def test_verify_lint_clean_tree(self, capsys):
+        assert main(["verify", "lint"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_verify_lint_flags_bad_file(self, capsys, tmp_path):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("for x in {1, 2}:\n    print(x)\n")
+        assert main(["verify", "lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "lint/set-order" in out
+
+    def test_plan_prints_verification(self, capsys):
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024"]) == 0
+        assert "verification" in capsys.readouterr().out
+
+    def test_no_verify_skips(self, capsys):
+        assert main(["plan", "clip_base", "--mesh", "1x4",
+                     "--batch-tokens", "1024", "--no-verify"]) == 0
+        assert "verification" not in capsys.readouterr().out
+
+    def test_simulate_no_verify(self, capsys):
+        assert main(["simulate", "bert_large", "--plan", "dp",
+                     "--mesh", "1x2", "--no-verify"]) == 0

@@ -4,17 +4,27 @@ import json
 
 import pytest
 
+from repro.baselines import megatron_plan
+from repro.cluster import paper_testbed
 from repro.core import (
+    DEFAULT_REGISTRY,
+    CostConfig,
     PlanLoadError,
     ShardingPlan,
     coarsen,
     load_plan,
+    load_routed,
     plan_from_json,
     plan_to_json,
+    route_plan,
+    routed_from_json,
+    routed_to_json,
     save_plan,
+    save_routed,
 )
 from repro.graph import trim_auxiliary
 from repro.models import TransformerConfig, build_t5
+from repro.simulator import simulate_iteration
 
 
 @pytest.fixture(scope="module")
@@ -89,3 +99,72 @@ class TestErrors:
             plan_from_json(text, t5_nodes)
         # without a graph to check against, loading succeeds
         assert plan_from_json(text).tp_degree == 2
+
+    def test_load_runs_static_verifier(self, t5_nodes, tmp_path):
+        """A saved plan violating divisibility fails verified loading."""
+        node = next(
+            n.name for n in t5_nodes.weight_nodes()
+            if n.name.endswith("ffn/intermediate")
+        )
+        path = tmp_path / "bad.json"
+        save_plan(ShardingPlan.of({node: "split_col"}, 3), path)
+        with pytest.raises(PlanLoadError, match="static verification"):
+            load_plan(path, t5_nodes)
+        # the escape hatch skips verification
+        assert load_plan(path, t5_nodes, verify=False).tp_degree == 3
+
+
+@pytest.fixture(scope="module")
+def t5_routed(t5_nodes):
+    plan = megatron_plan(t5_nodes, 4)
+    return route_plan(t5_nodes, plan, DEFAULT_REGISTRY)
+
+
+class TestRoutedRoundTrip:
+    def test_roundtrip_equal(self, t5_nodes, t5_routed):
+        restored = routed_from_json(routed_to_json(t5_routed), t5_nodes)
+        assert restored == t5_routed
+
+    def test_file_roundtrip_verifies(self, t5_nodes, t5_routed, tmp_path):
+        path = tmp_path / "routed.json"
+        save_routed(t5_routed, path)
+        restored = load_routed(path, t5_nodes)
+        assert restored == t5_routed
+
+    def test_sim_cache_never_serialised(self, t5_nodes, t5_routed):
+        mesh = paper_testbed(1, 4)
+        cfg = CostConfig(batch_tokens=1024)
+        simulate_iteration(t5_routed, mesh, cfg)
+        assert t5_routed._sim_cache  # populated by the simulation above
+        text = routed_to_json(t5_routed)
+        assert "_sim_cache" not in text
+        restored = routed_from_json(text, t5_nodes)
+        assert restored._sim_cache == {}
+
+    def test_reload_resimulates_bit_identically(self, t5_nodes, t5_routed):
+        mesh = paper_testbed(1, 4)
+        cfg = CostConfig(batch_tokens=1024)
+        restored = routed_from_json(routed_to_json(t5_routed), t5_nodes)
+        a = simulate_iteration(t5_routed, mesh, cfg)
+        b = simulate_iteration(restored, mesh, cfg)
+        assert a.iteration_time == b.iteration_time
+        assert a.comm_time == b.comm_time
+        assert a.exposed_comm_time == b.exposed_comm_time
+
+    def test_document_with_cache_field_rejected(self, t5_routed):
+        doc = json.loads(routed_to_json(t5_routed))
+        doc["_sim_cache"] = {"stale": True}
+        with pytest.raises(PlanLoadError, match="cache"):
+            routed_from_json(json.dumps(doc))
+
+    def test_corrupted_document_fails_verification(self, t5_nodes, t5_routed):
+        doc = json.loads(routed_to_json(t5_routed))
+        doc["order"] = doc["order"][:-1]
+        with pytest.raises(PlanLoadError, match="static verification"):
+            routed_from_json(json.dumps(doc), t5_nodes)
+        # without a graph (or with verify=False) structural parsing still works
+        assert routed_from_json(json.dumps(doc)).order == doc["order"]
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(PlanLoadError, match="not a serialised"):
+            routed_from_json(json.dumps({"kind": "repro.sharding_plan"}))

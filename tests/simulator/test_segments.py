@@ -1,0 +1,59 @@
+"""Edge cases for tandem-repeat segment detection."""
+
+from repro.simulator.iteration import detect_segments
+
+
+def reconstruct(ids, segments):
+    out = []
+    for start, period, repeats in segments:
+        out.extend(ids[start : start + period] * repeats)
+    return out
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert detect_segments([]) == []
+
+    def test_single_node_graph(self):
+        assert detect_segments([7]) == [(0, 1, 1)]
+
+    def test_no_tandem_repeats(self):
+        assert detect_segments([1, 2, 3, 4]) == [(0, 4, 1)]
+
+    def test_period_one(self):
+        # smallest period wins ties: AAAA is 4x period 1, not 2x period 2
+        assert detect_segments([5, 5, 5, 5]) == [(0, 1, 4)]
+
+    def test_two_element_repeat(self):
+        assert detect_segments([1, 2, 1, 2, 1, 2]) == [(0, 2, 3)]
+
+    def test_prefix_and_suffix_around_repeat(self):
+        ids = [9, 1, 2, 1, 2, 1, 2, 8]
+        assert detect_segments(ids) == [(0, 1, 1), (1, 2, 3), (7, 1, 1)]
+
+    def test_max_period_caps_detection(self):
+        ids = [1, 2, 3, 1, 2, 3]
+        assert detect_segments(ids, max_period=2) == [(0, 6, 1)]
+        assert detect_segments(ids, max_period=3) == [(0, 3, 2)]
+
+
+class TestCoverage:
+    def test_segments_cover_exactly(self):
+        cases = [
+            [],
+            [1],
+            [1, 1],
+            [1, 2, 1, 2, 3, 3, 3, 4],
+            [0] * 7 + [1, 2] * 5 + [9],
+            list(range(10)) * 3,
+        ]
+        for ids in cases:
+            segments = detect_segments(ids)
+            assert reconstruct(ids, segments) == ids
+            # segments are contiguous and non-overlapping
+            pos = 0
+            for start, period, repeats in segments:
+                assert start == pos
+                assert period >= 1 and repeats >= 1
+                pos += period * repeats
+            assert pos == len(ids)

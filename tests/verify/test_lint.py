@@ -1,0 +1,176 @@
+"""Tests for the AST lint rules guarding the memoization layers."""
+
+import textwrap
+from pathlib import Path
+
+from repro.verify import LINT_RULES, lint_paths, lint_source
+
+CORE = "src/repro/core/example.py"           # scoped rules active
+ELSEWHERE = "src/repro/models/example.py"    # scoped rules inactive
+COST = "src/repro/core/cost.py"              # wallclock-sensitive module
+
+
+def rules(diagnostics):
+    return {d.rule for d in diagnostics}
+
+
+def lint(source, path=CORE):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestFrozenSetattr:
+    def test_flags_outside_post_init(self):
+        src = """
+        def rename(self, value):
+            object.__setattr__(self, "name", value)
+        """
+        assert "lint/frozen-setattr" in rules(lint(src, ELSEWHERE))
+
+    def test_allows_in_post_init(self):
+        src = """
+        def __post_init__(self):
+            object.__setattr__(self, "name", "x")
+        """
+        assert not lint(src, ELSEWHERE)
+
+
+class TestCacheKey:
+    def test_flags_id_in_key_tuple(self):
+        src = """
+        def get(cache, shard, tokens):
+            return cache[(id(shard), tokens)]
+        """
+        assert "lint/cache-key" in rules(lint(src))
+
+    def test_flags_unhashable_literal_subscript(self):
+        src = """
+        def put(cache, a, b, value):
+            cache[[a, b]] = value
+        """
+        assert "lint/cache-key" in rules(lint(src))
+
+    def test_flags_unhashable_literal_get(self):
+        src = """
+        def get(cache, a, b):
+            return cache.get([a, b])
+        """
+        assert "lint/cache-key" in rules(lint(src))
+
+    def test_scoped_to_core_and_simulator(self):
+        src = """
+        def get(cache, shard):
+            return cache[(id(shard), 1)]
+        """
+        assert not lint(src, ELSEWHERE)
+
+    def test_pragma_suppresses(self):
+        src = """
+        def get(cache, shard, tokens):
+            key = (id(shard), tokens)  # repro-lint: ignore[cache-key]
+            return cache[key]
+        """
+        assert not lint(src)
+
+    def test_pragma_accepts_prefixed_rule(self):
+        src = """
+        def get(cache, shard, tokens):
+            key = (id(shard), tokens)  # repro-lint: ignore[lint/cache-key]
+            return cache[key]
+        """
+        assert not lint(src)
+
+
+class TestSetOrder:
+    def test_flags_for_over_set_literal(self):
+        src = """
+        def emit(out):
+            for name in {"b", "a"}:
+                out.append(name)
+        """
+        assert "lint/set-order" in rules(lint(src))
+
+    def test_flags_comprehension_over_set_call(self):
+        src = """
+        def emit(names):
+            return [n for n in set(names)]
+        """
+        assert "lint/set-order" in rules(lint(src))
+
+    def test_sorted_consumer_exempt(self):
+        src = """
+        def emit(a, b):
+            return sorted(set(a) | set(b))
+        """
+        assert not lint(src)
+
+    def test_min_consumer_exempt(self):
+        src = """
+        def pick(last, assignment):
+            return min(c for c in set(last) | set(assignment))
+        """
+        assert not lint(src)
+
+    def test_set_comprehension_output_exempt(self):
+        src = """
+        def collect(names):
+            return {n for n in set(names)}
+        """
+        assert not lint(src)
+
+    def test_scoped_to_core_and_simulator(self):
+        src = """
+        def emit(out):
+            for name in {"b", "a"}:
+                out.append(name)
+        """
+        assert not lint(src, ELSEWHERE)
+
+
+class TestWallclock:
+    def test_flags_time_time_in_cost_module(self):
+        src = """
+        import time
+
+        def price():
+            return time.time()
+        """
+        assert "lint/wallclock" in rules(lint(src, COST))
+
+    def test_flags_random_import(self):
+        src = """
+        import random
+        """
+        assert "lint/wallclock" in rules(lint(src, COST))
+
+    def test_other_modules_may_time_themselves(self):
+        src = """
+        import time
+
+        def stopwatch():
+            return time.perf_counter()
+        """
+        assert not lint(src, "src/repro/core/planner.py")
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_source("def broken(:\n", CORE)
+        assert rules(diags) == {"lint/syntax"}
+
+    def test_every_rule_documented(self):
+        for rule, rationale in LINT_RULES.items():
+            assert rule.startswith("lint/")
+            assert rationale
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("for x in {1, 2}:\n    print(x)\n")
+        diags = lint_paths([str(tmp_path)])
+        assert "lint/set-order" in rules(diags)
+
+    def test_repo_source_tree_is_clean(self):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert src.is_dir()
+        diags = lint_paths([str(src)])
+        assert diags == [], [d.format() for d in diags]
