@@ -1,0 +1,58 @@
+"""Benchmark regression gate — thin CLI over :mod:`repro.obs.regress`.
+
+Standalone entry point for running the gate without an installed
+package::
+
+    PYTHONPATH=src python benchmarks/regress.py \
+        --baseline benchmarks/baselines [--current .] [--threshold 0.2]
+
+``repro bench compare`` is the same harness behind the installed CLI;
+both exit non-zero when any metric regressed past its threshold (or
+vanished from the current run), printing a per-metric delta table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import regress  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "benchmarks" / "baselines"),
+                        help="directory of recorded baseline metrics")
+    parser.add_argument("--current", default=str(REPO_ROOT),
+                        help="directory holding this run's BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=regress.DEFAULT_THRESHOLD,
+                        help="default relative regression threshold")
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write the delta table to this file")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = regress.load_baselines(args.baseline)
+    except FileNotFoundError as exc:
+        print(f"bench compare: {exc}")
+        return 2
+    current = regress.load_bench_files(args.current)
+    result = regress.compare(
+        current,
+        baseline,
+        default_threshold=args.threshold,
+        overrides=regress.load_thresholds(args.baseline),
+    )
+    table = regress.format_delta_table(result)
+    print(table)
+    if args.report:
+        Path(args.report).write_text(table + "\n")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,10 @@ artifact EXPERIMENTS.md cites:
 
     PYTHONPATH=src python benchmarks/run_all.py [-k pattern]
 
+``--update-baselines`` additionally normalises the ``BENCH_*.json``
+files the run produced and refreshes ``benchmarks/baselines/`` — the
+metrics ``repro bench compare`` gates CI against.
+
 Exit status is non-zero if any benchmark fails.
 """
 
@@ -30,6 +34,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "-k", default="", help="only run benchmark files whose name contains this"
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="refresh benchmarks/baselines/ from this run's BENCH_*.json",
     )
     args = parser.parse_args(argv)
 
@@ -76,6 +84,18 @@ def main(argv=None) -> int:
     if failed:
         print("failed:", ", ".join(failed))
         return 1
+    if args.update_baselines:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.obs import regress
+
+        metrics = regress.load_bench_files(REPO_ROOT)
+        if not metrics:
+            print("no BENCH_*.json files at the repo root; nothing to record")
+            return 1
+        written = regress.write_baselines(
+            regress.split_by_suite(metrics), BENCH_DIR / "baselines"
+        )
+        print(f"baselines refreshed: {', '.join(str(p) for p in written)}")
     return 0
 
 

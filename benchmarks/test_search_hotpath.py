@@ -11,6 +11,7 @@ candidates) are archived alongside the wall-clock ratio.
 """
 
 import time
+import tracemalloc
 
 import pytest
 
@@ -43,11 +44,18 @@ def sweep():
         t0 = time.perf_counter()
         eng = derive_plan(ng, mesh, cost_config=cfg)
         t_eng = time.perf_counter() - t0
+        # peak tracked memory of one engine derivation, measured outside
+        # the timing windows (tracemalloc slows allocation)
+        tracemalloc.start()
+        derive_plan(ng, mesh, cost_config=cfg)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
         rows.append(
             {
                 "model": label,
                 "ref_seconds": t_ref,
                 "eng_seconds": t_eng,
+                "peak_mem_mb": peak / 2**20,
                 "ref": ref,
                 "eng": eng,
             }
@@ -84,6 +92,11 @@ def test_search_hotpath_engine_speedup(run_once):
             "reference_s": r["ref_seconds"],
             "optimized_s": r["eng_seconds"],
             "speedup": r["ref_seconds"] / r["eng_seconds"],
+            "candidates": r["eng"].candidates_examined,
+            "evaluations": r["eng"].evaluations,
+            "cache_hits": r["eng"].cache_hits,
+            "bound_skipped": r["eng"].bound_skipped,
+            "peak_mem_mb": r["peak_mem_mb"],
         }
         for r in rows
     ])

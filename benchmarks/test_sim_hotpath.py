@@ -16,6 +16,7 @@ identical to the reference before any timing is trusted.
 """
 
 import time
+import tracemalloc
 
 import pytest
 
@@ -86,6 +87,14 @@ def sweep():
         t_ref = min(_time_rounds(routed, mesh, cfg, True) for _ in range(3))
         t_rep = min(_time_rounds(routed, mesh, cfg, False) for _ in range(3))
 
+        # peak tracked memory of one cold replay (compile + run), measured
+        # outside the timing windows
+        routed._sim_cache.clear()
+        tracemalloc.start()
+        simulate_iteration(routed, mesh, cfg)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
         rows.append(
             {
                 "model": label,
@@ -94,6 +103,7 @@ def sweep():
                 "rep_seconds": t_rep,
                 "segments": rep_prof.segments_detected,
                 "replayed": rep_prof.nodes_replayed,
+                "peak_mem_mb": peak / 2**20,
             }
         )
     return rows
@@ -127,6 +137,10 @@ def test_sim_hotpath_replay_speedup(run_once):
             "reference_s": r["ref_seconds"],
             "optimized_s": r["rep_seconds"],
             "speedup": r["ref_seconds"] / r["rep_seconds"],
+            "nodes": r["nodes"],
+            "segments": r["segments"],
+            "nodes_replayed": r["replayed"],
+            "peak_mem_mb": r["peak_mem_mb"],
         }
         for r in rows
     ])

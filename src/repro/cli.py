@@ -19,9 +19,16 @@ Commands
     collective legality, packing) without simulating; ``verify lint``
     runs the AST rules guarding the memoization layers over the source
     tree.  Both exit non-zero on findings.
+``bench``
+    ``bench compare`` diffs the ``BENCH_*.json`` files of a benchmark
+    run against recorded baselines and exits non-zero when a metric
+    regressed past its threshold — the CI benchmark gate.
 
 ``plan`` and ``simulate`` run the plan verifier automatically (it is
-rule-based and cheap); ``--no-verify`` is the escape hatch.
+rule-based and cheap); ``--no-verify`` is the escape hatch.  ``plan
+--trace out.json`` additionally records the whole pipeline (prune,
+enumerate, route, price, rewrite, simulate) as a Chrome trace merged
+with the simulated iteration's timeline — open it in Perfetto.
 """
 
 from __future__ import annotations
@@ -71,9 +78,10 @@ def _parse_mesh(text: str, fabric: str) -> Mesh:
 
 
 def _prep(preset: str):
+    """Build a preset and return ``(graph, trimmed, trim_record, ng)``."""
     graph = build_preset(preset)
-    trimmed, _ = trim_auxiliary(graph)
-    return graph, coarsen(trimmed)
+    trimmed, record = trim_auxiliary(graph)
+    return graph, trimmed, record, coarsen(trimmed)
 
 
 def cmd_models(args) -> int:
@@ -92,7 +100,7 @@ def cmd_models(args) -> int:
 def cmd_inspect(args) -> int:
     from .core import prune_graph
 
-    graph, ng = _prep(args.model)
+    graph, _, _, ng = _prep(args.model)
     s = graph.stats()
     print(format_table(
         ["ops", "edges", "weights", "params", "GraphNodes"],
@@ -116,9 +124,25 @@ def _print_verification(report, label: str) -> None:
 
 
 def cmd_plan(args) -> int:
-    _, ng = _prep(args.model)
+    _, trimmed, trim_record, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
     cfg = CostConfig(batch_tokens=args.batch_tokens)
+    chrome = None
+    if args.trace:
+        from . import obs
+
+        chrome = obs.ChromeTraceSink()
+        obs.enable(chrome, obs.MemorySink())
+    try:
+        return _run_plan(args, trimmed, trim_record, ng, mesh, cfg, chrome)
+    finally:
+        if chrome is not None:
+            from . import obs
+
+            obs.disable()
+
+
+def _run_plan(args, trimmed, trim_record, ng, mesh, cfg, chrome) -> int:
     result = derive_plan(
         ng, mesh,
         cost_config=cfg,
@@ -148,11 +172,27 @@ def cmd_plan(args) -> int:
     if args.output:
         save_plan(result.plan, args.output)
         print(f"\nplan saved to {args.output}")
+    if chrome is not None:
+        from . import obs
+
+        # Run the back half of the pipeline too, so the trace shows every
+        # stage: rewrite the winning plan and simulate one iteration, then
+        # merge the planner spans (pid 1) with the simulated-device
+        # timeline (pid 0) into one Perfetto-loadable file.
+        rewrite_graph(
+            trimmed, ng, result.routed,
+            trim_record=trim_record, packing=cfg.packing,
+        )
+        prof = simulate_iteration(result.routed, mesh, cfg)
+        events = obs.merged_chrome_trace(chrome, prof)
+        obs.save_trace_events(events, args.trace)
+        print(f"\ntrace written to {args.trace} ({len(events)} events) — "
+              "open at https://ui.perfetto.dev")
     return 0
 
 
 def cmd_simulate(args) -> int:
-    _, ng = _prep(args.model)
+    _, _, _, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
     cfg = CostConfig(batch_tokens=args.batch_tokens)
 
@@ -190,7 +230,7 @@ def cmd_simulate(args) -> int:
 def cmd_verify_plan(args) -> int:
     from .verify import verify_plan, verify_rewrite, verify_routed
 
-    graph, ng = _prep(args.model)
+    _, trimmed, record, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
     cfg = CostConfig(batch_tokens=args.batch_tokens)
 
@@ -217,7 +257,6 @@ def cmd_verify_plan(args) -> int:
         _print_verification(report, "plan")
         return 1
     report = verify_routed(ng, routed, mesh, cfg)
-    trimmed, record = trim_auxiliary(graph)
     rewrite = rewrite_graph(
         trimmed, ng, routed, trim_record=record, packing=cfg.packing
     )
@@ -238,6 +277,28 @@ def cmd_verify_lint(args) -> int:
         return 1
     print("lint: clean")
     return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from .obs import regress
+
+    try:
+        baseline = regress.load_baselines(args.baseline)
+    except FileNotFoundError as exc:
+        print(f"bench compare: {exc}")
+        return 2
+    current = regress.load_bench_files(args.current)
+    overrides = regress.load_thresholds(args.baseline)
+    result = regress.compare(
+        current, baseline,
+        default_threshold=args.threshold,
+        overrides=overrides,
+    )
+    table = regress.format_delta_table(result)
+    print(table)
+    if args.report:
+        Path(args.report).write_text(table + "\n")
+    return 0 if result.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="save the plan as JSON")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the static plan verifier")
+    p.add_argument("--trace", metavar="FILE",
+                   help="record the pipeline as a Chrome trace (merged "
+                        "with the simulated iteration; open in Perfetto)")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("simulate", help="price a named or saved plan")
@@ -304,6 +368,23 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("paths", nargs="*",
                    help="files or directories (default: the repro package)")
     v.set_defaults(func=cmd_verify_lint)
+
+    p = sub.add_parser("bench", help="benchmark utilities")
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+    b = bsub.add_parser(
+        "compare",
+        help="gate BENCH_*.json files against recorded baselines",
+    )
+    b.add_argument("--baseline", default="benchmarks/baselines",
+                   help="directory of recorded baseline metrics")
+    b.add_argument("--current", default=".",
+                   help="directory holding this run's BENCH_*.json files")
+    b.add_argument("--threshold", type=float, default=0.20,
+                   help="default relative regression threshold "
+                        "(per-metric overrides come from thresholds.json)")
+    b.add_argument("--report", metavar="FILE",
+                   help="also write the delta table to this file")
+    b.set_defaults(func=cmd_bench_compare)
     return parser
 
 

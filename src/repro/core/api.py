@@ -90,6 +90,11 @@ class ParallelizedModel:
             f"communication ops inserted: {self.rewrite.num_comm_ops}",
             f"gradient buckets: {self.rewrite.num_gradient_buckets}",
         ]
+        from .. import obs
+
+        sink = obs.memory_sink()
+        if sink is not None:
+            lines.append(f"observability: {sink.summary()}")
         return "\n".join(lines)
 
 

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..cluster import collective_time
+from ..obs import metrics, trace
 from .cost import (
     CostModel,
     TERM_BWD_TP_COMM,
@@ -545,6 +546,34 @@ def search_block_candidates(
     branch-and-bound (every valid candidate is then fully priced and
     counted).
     """
+    with trace.span(
+        "enumerate", block=block.name, tp=tp_degree, engine=engine
+    ):
+        out = _search_block_candidates(
+            block, registry, tp_degree, cost_model, max_plans, engine, use_bound
+        )
+    if metrics.enabled():
+        # Published once per sweep — never per candidate — so the engine's
+        # inner loop stays uninstrumented (the <2% overhead budget).
+        metrics.counter("search.candidates", out.candidates, block=block.name)
+        metrics.counter("search.valid", out.valid, block=block.name)
+        metrics.counter("search.evaluations", out.evaluations, block=block.name)
+        metrics.counter("search.cache_hits", out.cache_hits, block=block.name)
+        metrics.counter(
+            "search.bound_skipped", out.bound_skipped, block=block.name
+        )
+    return out
+
+
+def _search_block_candidates(
+    block: NodeGraph,
+    registry: PatternRegistry,
+    tp_degree: int,
+    cost_model: CostModel,
+    max_plans: int,
+    engine: bool,
+    use_bound: bool,
+) -> BlockSearchOutcome:
     out = BlockSearchOutcome()
     groups = decision_groups(block, registry, tp_degree)
     plans = iter_gray_plans(groups, max_plans)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..cluster import Mesh
+from ..obs import metrics, trace
 from .cost import CostConfig, CostModel
 from .evaluate import (
     EVAL_VALID,
@@ -350,9 +351,21 @@ def derive_plan(
             record = search_uncovered(tp, assignment, evaluator)
             records.append(record)
             assignment.update(record.best_assignment)
+            if metrics.enabled():
+                # keep the obs counters equal to the SearchResult totals:
+                # the coordinate-descent candidates are part of the search
+                metrics.counter("search.candidates", record.candidates,
+                                block="uncovered", tp=tp)
+                metrics.counter("search.valid", record.valid,
+                                block="uncovered", tp=tp)
+                metrics.counter("search.evaluations", record.evaluations,
+                                block="uncovered", tp=tp)
+                metrics.counter("search.cache_hits", record.cache_hits,
+                                block="uncovered", tp=tp)
         full_plan = ShardingPlan.of(assignment, tp, name=f"tap-tp{tp}")
         if engine:
-            status, cost = evaluator.price(assignment)
+            with trace.span("price", tp=tp, engine=True):
+                status, cost = evaluator.price(assignment)
             if status != EVAL_VALID:
                 return records, None
             return records, (full_plan, None, cost)
@@ -360,7 +373,9 @@ def derive_plan(
             routed_full = route_plan(node_graph, full_plan, registry)
         except RoutingError:
             return records, None
-        return records, (full_plan, routed_full, cost_model.plan_cost(routed_full))
+        with trace.span("price", tp=tp, engine=False):
+            cost = cost_model.plan_cost(routed_full)
+        return records, (full_plan, routed_full, cost)
 
     per_tp: Dict[int, Tuple[List[FamilySearch], Optional[Tuple]]] = {}
     if jobs > 1 and len(degrees) > 1:
@@ -404,4 +419,14 @@ def derive_plan(
     best.cache_hits = sum(r.cache_hits for r in family_records)
     best.bound_skipped = sum(r.bound_skipped for r in family_records)
     best.search_seconds = time.perf_counter() - start
+    if metrics.enabled():
+        # Whole-search totals (the SearchResult counters) as gauges — the
+        # per-sweep ``search.*`` counters already accumulated increments.
+        metrics.gauge("search.best_cost", best.cost)
+        metrics.gauge("search.tp_degree", full_plan.tp_degree)
+        metrics.gauge("search.seconds", best.search_seconds)
+        metrics.gauge("search.total_candidates", best.candidates_examined)
+        metrics.gauge("search.total_evaluations", best.evaluations)
+        metrics.gauge("search.total_cache_hits", best.cache_hits)
+        metrics.gauge("search.total_bound_skipped", best.bound_skipped)
     return best

@@ -24,6 +24,7 @@ from ..graph.scope import (
     normalize_scope,
     scopes_at_depth,
 )
+from ..obs import metrics, trace
 from .graphnode import NodeGraph
 
 __all__ = ["SubgraphFamily", "PruneResult", "prune_graph"]
@@ -105,6 +106,16 @@ def prune_graph(graph: NodeGraph, min_duplicate: int = 2) -> PruneResult:
     disables pruning (the paper's "threshold 1 means the graph is
     unpruned").
     """
+    with trace.span("prune", nodes=len(graph), min_duplicate=min_duplicate):
+        result = _prune_graph(graph, min_duplicate)
+    if metrics.enabled():
+        metrics.counter("prune.families", len(result.families))
+        metrics.counter("prune.uncovered", len(result.uncovered))
+        metrics.gauge("prune.compression", result.compression)
+    return result
+
+
+def _prune_graph(graph: NodeGraph, min_duplicate: int) -> PruneResult:
     start = time.perf_counter()
     all_names = [n.name for n in graph]
     result = PruneResult(nodes_before=len(all_names))

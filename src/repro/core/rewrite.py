@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..graph import Graph, Operator, OpType, TensorSpec, TrimRecord, restore_auxiliary
+from ..obs import metrics, trace
 from .graphnode import NodeGraph
 from .packing import Bucket, PackingConfig, pack_gradients
 from .patterns import DEFAULT_REGISTRY, PatternRegistry
@@ -63,6 +64,25 @@ def rewrite_graph(
     are narrowed to their local shards; gradient packing runs over the
     plan's backward gradient stream exactly as §4.7.1 describes.
     """
+    with trace.span("rewrite", ops=len(trimmed), tp=routed.tp_degree):
+        result = _rewrite_graph(
+            trimmed, node_graph, routed, trim_record, packing, registry
+        )
+    if metrics.enabled():
+        metrics.counter("rewrite.comm_ops", result.num_comm_ops)
+        metrics.counter("rewrite.gradient_buckets", result.num_gradient_buckets)
+        metrics.counter("rewrite.local_weights", len(result.local_weights))
+    return result
+
+
+def _rewrite_graph(
+    trimmed: Graph,
+    node_graph: NodeGraph,
+    routed: RoutedPlan,
+    trim_record: Optional[TrimRecord],
+    packing: Optional[PackingConfig],
+    registry: PatternRegistry,
+) -> RewriteResult:
     members = _member_ops(node_graph)
     op_to_node: Dict[str, str] = {}
     for node_name, ops in members.items():

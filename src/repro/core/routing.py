@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..graph import OpType, TensorSpec
+from ..obs import trace
 from .graphnode import GraphNode, NodeGraph
 from .patterns import (
     FALLBACK_REPLICATE,
@@ -232,6 +233,23 @@ def route_plan(
     conversion claims of earlier nodes, all of which are unchanged over
     that prefix, so the result is identical to a full walk.
     """
+    with trace.span(
+        "route",
+        block=block.name,
+        tp=plan.tp_degree,
+        incremental=base is not None,
+    ):
+        return _route_plan(block, plan, registry, strict, base, changed)
+
+
+def _route_plan(
+    block: NodeGraph,
+    plan: ShardingPlan,
+    registry: PatternRegistry,
+    strict: bool,
+    base: Optional[RoutedPlan],
+    changed: Optional[Iterable[str]],
+) -> RoutedPlan:
     tp = plan.tp_degree
     routed = RoutedPlan(plan=plan)
     layouts: Dict[str, str] = {}

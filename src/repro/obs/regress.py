@@ -1,0 +1,263 @@
+"""Benchmark baseline/compare harness — the CI regression gate.
+
+``BENCH_*.json`` files (emitted by the hot-path benchmarks) are
+normalised into one flat schema::
+
+    {"search/t5-24L/optimized_s": 0.102,
+     "search/t5-24L/speedup": 23.7,
+     "search/t5-24L/cache_hit_rate": 0.93, ...}
+
+Metric keys are ``<suite>/<model>/<field>``; every numeric field of a
+bench record is carried, plus the derived cache-hit rate when the engine
+counters are present.  Baselines are those dicts written under
+``benchmarks/baselines/<suite>.json``; :func:`compare` diffs a current
+run against them and flags any metric that moved beyond its threshold in
+its bad direction:
+
+* ``*_s`` / ``*_mb`` (wall times, memory) — lower is better;
+* ``*speedup*`` / ``*hit_rate*`` / ``*efficiency*`` — higher is better;
+* counts (candidates, evaluations, segments…) — two-sided: the search
+  is deterministic, so drift in either direction is a behaviour change.
+
+The default threshold is 20%; per-metric overrides are ``fnmatch``
+patterns from ``benchmarks/baselines/thresholds.json`` (value ``null``
+silences a metric entirely).  The verdict renders as a per-metric delta
+table through :func:`repro.viz.format_table`; regressions and metrics
+that vanished from the current run fail the gate, brand-new metrics only
+inform.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..viz.tables import format_table
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "CompareResult",
+    "normalize_bench",
+    "load_bench_files",
+    "load_baselines",
+    "load_thresholds",
+    "write_baselines",
+    "compare",
+    "format_delta_table",
+]
+
+DEFAULT_THRESHOLD = 0.20
+
+#: Baseline-dir file holding the threshold override patterns.
+THRESHOLDS_FILE = "thresholds.json"
+
+#: (fnmatch pattern over the field name, direction) — first match wins.
+_FIELD_DIRECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("*speedup*", "higher"),
+    ("*hit_rate*", "higher"),
+    ("*efficiency*", "higher"),
+    ("*_s", "lower"),
+    ("*_mb", "lower"),
+    ("*_bytes", "lower"),
+)
+
+
+def direction_for(metric: str) -> str:
+    """``lower`` / ``higher`` / ``both`` — which movement is a regression."""
+    fld = metric.rsplit("/", 1)[-1]
+    for pattern, direction in _FIELD_DIRECTIONS:
+        if fnmatch(fld, pattern):
+            return direction
+    return "both"
+
+
+def normalize_bench(suite: str, records: Sequence[Dict]) -> Dict[str, float]:
+    """Flatten one ``BENCH_<suite>.json`` record list into metric keys."""
+    metrics: Dict[str, float] = {}
+    for rec in records:
+        model = rec.get("model", "all")
+        fields = {
+            k: v
+            for k, v in rec.items()
+            if k != "model" and isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        hits = fields.get("cache_hits")
+        evals = fields.get("evaluations")
+        if hits is not None and evals is not None and hits + evals > 0:
+            fields["cache_hit_rate"] = hits / (hits + evals)
+        for key, value in fields.items():
+            metrics[f"{suite}/{model}/{key}"] = float(value)
+    return metrics
+
+
+def load_bench_files(root) -> Dict[str, float]:
+    """Normalise every ``BENCH_*.json`` directly under *root*."""
+    root = Path(root)
+    metrics: Dict[str, float] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        suite = path.stem[len("BENCH_"):]
+        metrics.update(normalize_bench(suite, json.loads(path.read_text())))
+    return metrics
+
+
+def load_baselines(baseline_dir) -> Dict[str, float]:
+    """Union of every baseline file under *baseline_dir*.
+
+    Raises :class:`FileNotFoundError` when the directory is missing or
+    holds no baseline files — the gate cannot run without a baseline, and
+    a silent empty pass would defeat its purpose.
+    """
+    baseline_dir = Path(baseline_dir)
+    if not baseline_dir.is_dir():
+        raise FileNotFoundError(
+            f"baseline directory {baseline_dir} does not exist; record one "
+            "with benchmarks/run_all.py --update-baselines"
+        )
+    metrics: Dict[str, float] = {}
+    found = False
+    for path in sorted(baseline_dir.glob("*.json")):
+        if path.name == THRESHOLDS_FILE:
+            continue
+        found = True
+        metrics.update(json.loads(path.read_text()))
+    if not found:
+        raise FileNotFoundError(
+            f"no baseline files under {baseline_dir}; record one with "
+            "benchmarks/run_all.py --update-baselines"
+        )
+    return metrics
+
+
+def load_thresholds(baseline_dir) -> Dict[str, Optional[float]]:
+    path = Path(baseline_dir) / THRESHOLDS_FILE
+    if not path.is_file():
+        return {}
+    return json.loads(path.read_text())
+
+
+def write_baselines(metrics_by_suite: Dict[str, Dict[str, float]], baseline_dir) -> List[Path]:
+    """Write one ``<suite>.json`` per suite; returns the paths written."""
+    baseline_dir = Path(baseline_dir)
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for suite in sorted(metrics_by_suite):
+        path = baseline_dir / f"{suite}.json"
+        path.write_text(
+            json.dumps(metrics_by_suite[suite], indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+    return written
+
+
+def split_by_suite(metrics: Dict[str, float]) -> Dict[str, Dict[str, float]]:
+    """Group flat metrics back into per-suite dicts (for baseline files)."""
+    by_suite: Dict[str, Dict[str, float]] = {}
+    for key, value in metrics.items():
+        suite = key.split("/", 1)[0]
+        by_suite.setdefault(suite, {})[key] = value
+    return by_suite
+
+
+@dataclass
+class MetricDelta:
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta: Optional[float]          # (current - baseline) / baseline
+    threshold: Optional[float]      # None = silenced
+    direction: str
+    status: str                     # "ok" | "REGRESSED" | "MISSING" | "new" | "skip"
+
+
+@dataclass
+class CompareResult:
+    rows: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [r for r in self.rows if r.status in ("REGRESSED", "MISSING")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _threshold_for(
+    metric: str,
+    default: float,
+    overrides: Dict[str, Optional[float]],
+) -> Optional[float]:
+    for pattern in sorted(overrides):
+        if fnmatch(metric, pattern):
+            return overrides[pattern]
+    return default
+
+
+def compare(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    default_threshold: float = DEFAULT_THRESHOLD,
+    overrides: Optional[Dict[str, Optional[float]]] = None,
+) -> CompareResult:
+    """Diff *current* against *baseline* metric by metric."""
+    overrides = overrides or {}
+    result = CompareResult()
+    for metric in sorted(set(baseline) | set(current)):
+        base = baseline.get(metric)
+        cur = current.get(metric)
+        threshold = _threshold_for(metric, default_threshold, overrides)
+        direction = direction_for(metric)
+        if base is None:
+            result.rows.append(
+                MetricDelta(metric, None, cur, None, threshold, direction, "new")
+            )
+            continue
+        if cur is None:
+            result.rows.append(
+                MetricDelta(metric, base, None, None, threshold, direction, "MISSING")
+            )
+            continue
+        delta = (cur - base) / base if base != 0 else (0.0 if cur == 0 else float("inf"))
+        if threshold is None:
+            status = "skip"
+        elif direction == "lower":
+            status = "REGRESSED" if delta > threshold else "ok"
+        elif direction == "higher":
+            status = "REGRESSED" if delta < -threshold else "ok"
+        else:
+            status = "REGRESSED" if abs(delta) > threshold else "ok"
+        result.rows.append(
+            MetricDelta(metric, base, cur, delta, threshold, direction, status)
+        )
+    return result
+
+
+def format_delta_table(result: CompareResult, title: str = "benchmark regression gate") -> str:
+    """The per-metric verdict as a fixed-width table."""
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [
+                r.metric,
+                "-" if r.baseline is None else f"{r.baseline:.6g}",
+                "-" if r.current is None else f"{r.current:.6g}",
+                "-" if r.delta is None else f"{r.delta * 100:+.1f}%",
+                "-" if r.threshold is None else f"{r.threshold * 100:.0f}%",
+                r.direction,
+                r.status,
+            ]
+        )
+    table = format_table(
+        ["metric", "baseline", "current", "delta", "threshold", "direction", "status"],
+        rows,
+        title=title,
+    )
+    verdict = (
+        "PASS: no metric regressed beyond its threshold"
+        if result.ok
+        else f"FAIL: {len(result.regressions)} metric(s) regressed"
+    )
+    return table + "\n" + verdict

@@ -1,0 +1,311 @@
+"""Pluggable sinks for the planner's span/metric instrumentation.
+
+Three sinks cover every consumer the pipeline has:
+
+* :class:`MemorySink` — in-process record lists plus aggregated counter /
+  gauge views; what the tests and ``describe()`` summaries read.
+* :class:`JSONLSink` — one JSON object per record, append-only; the
+  machine-readable log format (:func:`read_jsonl` round-trips it).
+* :class:`ChromeTraceSink` — converts the span tree into Chrome
+  ``chrome://tracing`` / Perfetto "X" events that compose with the
+  simulator's emitters (:mod:`repro.simulator.trace`), so one merged
+  timeline shows planner phases alongside the simulated iteration.
+
+Sinks receive already-finished records (a span is reported at close), so
+a sink never observes a half-open interval and needs no flush protocol
+beyond :meth:`Sink.close`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "SpanRecord",
+    "MetricRecord",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "ChromeTraceSink",
+    "read_jsonl",
+    "record_from_dict",
+    "merged_chrome_trace",
+    "save_trace_events",
+]
+
+#: Microseconds per second (chrome traces use µs timestamps).
+_US = 1e6
+
+#: pid reserved for planner-phase events; the simulator's emitters use 0.
+PLANNER_PID = 1
+
+
+@dataclass
+class SpanRecord:
+    """One closed ``trace.span(...)`` interval."""
+
+    name: str
+    start: float           # perf_counter seconds at __enter__
+    duration: float        # seconds
+    depth: int             # nesting depth within the opening thread
+    thread: int            # small per-session thread index, 0 = first seen
+    attrs: Dict[str, object] = field(default_factory=dict)
+    error: bool = False    # closed by an exception unwind
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "thread": self.thread,
+            "attrs": self.attrs,
+            "error": self.error,
+        }
+
+
+@dataclass
+class MetricRecord:
+    """One ``metrics.counter`` / ``metrics.gauge`` observation."""
+
+    kind: str              # "counter" | "gauge"
+    name: str
+    value: float
+    ts: float              # perf_counter seconds at record time
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "value": self.value,
+            "ts": self.ts,
+            "attrs": self.attrs,
+        }
+
+
+Record = Union[SpanRecord, MetricRecord]
+
+
+def record_from_dict(data: Dict[str, object]) -> Record:
+    """Inverse of ``as_dict`` — rebuild a record from its JSON form."""
+    kind = data.get("type")
+    if kind == "span":
+        return SpanRecord(
+            name=data["name"],
+            start=data["start"],
+            duration=data["duration"],
+            depth=data["depth"],
+            thread=data["thread"],
+            attrs=dict(data.get("attrs") or {}),
+            error=bool(data.get("error", False)),
+        )
+    if kind == "metric":
+        return MetricRecord(
+            kind=data["kind"],
+            name=data["name"],
+            value=data["value"],
+            ts=data["ts"],
+            attrs=dict(data.get("attrs") or {}),
+        )
+    raise ValueError(f"unknown record type {kind!r}")
+
+
+class Sink:
+    """Interface every sink implements; methods may run on any thread."""
+
+    def record_span(self, rec: SpanRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def record_metric(self, rec: MetricRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resource; further records are an error."""
+
+
+class MemorySink(Sink):
+    """Keep every record in process memory, with aggregate views.
+
+    ``counters`` accumulates by metric name (labels folded in); ``gauges``
+    keeps the last value per name.  List appends are GIL-atomic, so
+    concurrent family searches need no extra locking here.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.metrics: List[MetricRecord] = []
+        self._lock = threading.Lock()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def record_span(self, rec: SpanRecord) -> None:
+        self.spans.append(rec)
+
+    def record_metric(self, rec: MetricRecord) -> None:
+        self.metrics.append(rec)
+        with self._lock:
+            if rec.kind == "counter":
+                self.counters[rec.name] = self.counters.get(rec.name, 0) + rec.value
+            else:
+                self.gauges[rec.name] = rec.value
+
+    # -- convenience views -------------------------------------------------
+    def span_names(self) -> List[str]:
+        return [s.name for s in self.spans]
+
+    def find(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def summary(self) -> str:
+        """One-line digest for ``describe()`` surfaces."""
+        parts = [f"{len(self.spans)} spans"]
+        for name in sorted(self.counters):
+            parts.append(f"{name}={self.counters[name]:g}")
+        return ", ".join(parts)
+
+
+class JSONLSink(Sink):
+    """Append records as JSON lines to *path* (or an open text file)."""
+
+    def __init__(self, path) -> None:
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns = False
+        else:
+            self._fh = open(path, "w")
+            self._owns = True
+        self._lock = threading.Lock()
+
+    def _write(self, rec: Record) -> None:
+        line = json.dumps(rec.as_dict(), sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    record_span = _write
+    record_metric = _write
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+def read_jsonl(path) -> List[Record]:
+    """Load a :class:`JSONLSink` file back into record objects."""
+    records: List[Record] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+class ChromeTraceSink(Sink):
+    """Collect records and render them as Chrome trace events.
+
+    Spans become complete ("X") events under pid :data:`PLANNER_PID`, one
+    thread row per recording thread; counters become "C" events so
+    Perfetto plots them as tracks.  Timestamps are re-zeroed to the first
+    record so the timeline starts at 0 regardless of process uptime.
+    """
+
+    def __init__(self, process_name: str = "planner") -> None:
+        self.process_name = process_name
+        self.spans: List[SpanRecord] = []
+        self.metrics: List[MetricRecord] = []
+
+    def record_span(self, rec: SpanRecord) -> None:
+        self.spans.append(rec)
+
+    def record_metric(self, rec: MetricRecord) -> None:
+        self.metrics.append(rec)
+
+    def events(self) -> List[Dict]:
+        """The collected records as a chrome-trace event list."""
+        events: List[Dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": PLANNER_PID,
+                "args": {"name": self.process_name},
+            }
+        ]
+        starts = [s.start for s in self.spans] + [m.ts for m in self.metrics]
+        t0 = min(starts) if starts else 0.0
+        threads = sorted(
+            {s.thread for s in self.spans} | {0}
+        )
+        for tid in threads:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": PLANNER_PID,
+                    "tid": tid,
+                    "args": {
+                        "name": "planner" if tid == 0 else f"planner-worker-{tid}"
+                    },
+                }
+            )
+        for s in self.spans:
+            args = dict(s.attrs)
+            if s.error:
+                args["error"] = True
+            events.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "pid": PLANNER_PID,
+                    "tid": s.thread,
+                    "ts": (s.start - t0) * _US,
+                    "dur": s.duration * _US,
+                    "cat": "planner",
+                    "args": args,
+                }
+            )
+        for m in self.metrics:
+            if m.kind != "counter":
+                continue
+            events.append(
+                {
+                    "name": m.name,
+                    "ph": "C",
+                    "pid": PLANNER_PID,
+                    "tid": 0,
+                    "ts": (m.ts - t0) * _US,
+                    "args": {"value": m.value},
+                }
+            )
+        return events
+
+
+def merged_chrome_trace(
+    sink: ChromeTraceSink, profile=None
+) -> List[Dict]:
+    """Planner events merged with a simulated iteration's timeline.
+
+    *profile* is an :class:`repro.simulator.IterationProfile` with its
+    engine attached (or ``None`` for planner events alone); its events
+    keep pid 0 ("simulated-device") while the planner rides pid 1, so a
+    trace viewer shows both tracks in one file.
+    """
+    events = sink.events()
+    if profile is not None and getattr(profile, "engine", None) is not None:
+        from ..simulator.trace import profile_to_chrome_trace
+
+        events = profile_to_chrome_trace(profile) + events
+    return events
+
+
+def save_trace_events(events: List[Dict], path) -> None:
+    """Write an event list as a chrome-trace JSON file."""
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events}, fh)

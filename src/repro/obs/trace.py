@@ -1,0 +1,192 @@
+"""Span instrumentation for the planner pipeline.
+
+Usage, at an instrumentation site::
+
+    from ..obs import trace
+
+    with trace.span("routing", nodes=len(order)):
+        ...
+
+and at a collection site (CLI ``--trace``, tests, benchmarks)::
+
+    from repro import obs
+
+    with obs.capture(obs.ChromeTraceSink()) as sink:
+        derive_plan(...)
+    events = sink.events()
+
+Observability is **off-cost when disabled**: the module-level
+:data:`_ENABLED` flag gates everything, and a disabled :func:`span` call
+returns one preallocated no-op context manager — no record objects, no
+clock reads, no sink dispatch.  The stage taxonomy (who opens which
+span) is documented in DESIGN.md's "Observability" section; the six
+pipeline stages are ``prune``, ``enumerate``, ``route``, ``price``,
+``rewrite`` and ``simulate``.
+
+Spans nest through a thread-local stack, so concurrent family searches
+(``derive_plan(jobs=N)``) record correct depths per worker thread; each
+thread gets a stable small integer index for trace display.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .sinks import MemorySink, MetricRecord, Sink, SpanRecord
+
+__all__ = ["span", "enabled", "enable", "disable", "capture", "memory_sink"]
+
+_ENABLED = False
+_SINKS: List[Sink] = []
+_LOCK = threading.Lock()
+_THREAD_IDS: Dict[int, int] = {}
+_TLS = threading.local()
+
+
+def enabled() -> bool:
+    """True when at least one sink is installed."""
+    return _ENABLED
+
+
+def _thread_index() -> int:
+    ident = threading.get_ident()
+    idx = _THREAD_IDS.get(ident)
+    if idx is None:
+        with _LOCK:
+            idx = _THREAD_IDS.setdefault(ident, len(_THREAD_IDS))
+    return idx
+
+
+def _stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def _emit_span(rec: SpanRecord) -> None:
+    for sink in _SINKS:
+        sink.record_span(rec)
+
+
+def _emit_metric(rec: MetricRecord) -> None:
+    for sink in _SINKS:
+        sink.record_metric(rec)
+
+
+class _NullSpan:
+    """The disabled fast path: a reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "_start", "_depth")
+
+    def __init__(self, name: str, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        stack = _stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end = time.perf_counter()
+        stack = _stack()
+        # Unwind to this frame even if an inner span leaked past an
+        # exception (it cannot under the with-statement protocol, but a
+        # broken caller must not corrupt every later record).
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        _emit_span(
+            SpanRecord(
+                name=self.name,
+                start=self._start,
+                duration=end - self._start,
+                depth=self._depth,
+                thread=_thread_index(),
+                attrs=self.attrs,
+                error=exc_type is not None,
+            )
+        )
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a named span; a context manager either way.
+
+    Disabled → the shared :class:`_NullSpan` singleton (identity fast
+    path, asserted by the tests); enabled → a real span that reports a
+    :class:`SpanRecord` to every sink on close, exception or not.
+    """
+    if not _ENABLED:
+        return _NULL
+    return _Span(name, attrs)
+
+
+def enable(*sinks: Sink) -> None:
+    """Install *sinks* (default: one :class:`MemorySink`) and turn on."""
+    global _ENABLED
+    with _LOCK:
+        _SINKS.extend(sinks if sinks else (MemorySink(),))
+        _ENABLED = True
+
+
+def disable(close: bool = True) -> None:
+    """Remove every sink and turn instrumentation off."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = False
+        sinks, _SINKS[:] = list(_SINKS), []
+    if close:
+        for sink in sinks:
+            sink.close()
+
+
+def memory_sink() -> Optional[MemorySink]:
+    """The first installed :class:`MemorySink`, if any (for summaries)."""
+    for sink in _SINKS:
+        if isinstance(sink, MemorySink):
+            return sink
+    return None
+
+
+class capture:
+    """``with obs.capture(sink) as sink:`` — scoped enable/disable.
+
+    With no argument a :class:`MemorySink` is created and returned.  The
+    previous sink set is restored on exit, so captures nest.
+    """
+
+    def __init__(self, sink: Optional[Sink] = None) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+
+    def __enter__(self):
+        self._saved = list(_SINKS)
+        self._saved_enabled = _ENABLED
+        enable(self.sink)
+        return self.sink
+
+    def __exit__(self, exc_type, exc, tb):
+        global _ENABLED
+        with _LOCK:
+            _SINKS[:] = self._saved
+            _ENABLED = self._saved_enabled
+        return False

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Mesh, collective_time
 from ..core.cost import CostConfig, CostModel
+from ..obs import metrics, trace
 from ..core.packing import pack_gradients
 from ..core.plan import RoutedPlan
 
@@ -448,9 +449,22 @@ def simulate_iteration(
     the property tests, mirroring ``derive_plan(engine=False)``.
     """
     cfg = config or CostConfig()
-    if reference:
-        return _simulate_reference(routed, mesh, cfg, recompute)
-    return _simulate_replay(routed, mesh, cfg, recompute)
+    with trace.span(
+        "simulate",
+        nodes=len(routed.order),
+        tp=routed.tp_degree,
+        reference=reference,
+    ):
+        if reference:
+            prof = _simulate_reference(routed, mesh, cfg, recompute)
+        else:
+            prof = _simulate_replay(routed, mesh, cfg, recompute)
+    if metrics.enabled():
+        metrics.counter("sim.segments", prof.segments_detected)
+        metrics.counter("sim.nodes_replayed", prof.nodes_replayed)
+        metrics.gauge("sim.iteration_time", prof.iteration_time)
+        metrics.gauge("sim.overlap_efficiency", prof.overlap_efficiency)
+    return prof
 
 
 def _simulate_replay(

@@ -1,0 +1,95 @@
+"""End-to-end: the pipeline emits every stage span, through the CLI too."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.cluster import Mesh
+from repro.core import CostConfig, coarsen, derive_plan, rewrite_graph
+from repro.graph import trim_auxiliary
+from repro.models import build_preset
+from repro.obs import trace
+from repro.simulator import simulate_iteration
+
+STAGES = ("prune", "enumerate", "route", "price", "rewrite", "simulate")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+def _pipeline(sink_cm):
+    graph = build_preset("clip_base")
+    trimmed, record = trim_auxiliary(graph)
+    ng = coarsen(trimmed)
+    mesh = Mesh(1, 4)
+    cfg = CostConfig(batch_tokens=1024)
+    with sink_cm as sink:
+        result = derive_plan(ng, mesh, cost_config=cfg)
+        rewrite_graph(trimmed, ng, result.routed, trim_record=record,
+                      packing=cfg.packing)
+        simulate_iteration(result.routed, mesh, cfg)
+    return sink, result
+
+
+def test_pipeline_emits_all_six_stages():
+    sink, _ = _pipeline(obs.capture())
+    names = set(sink.span_names())
+    for stage in STAGES:
+        assert stage in names, f"missing stage span {stage!r}"
+
+
+def test_pipeline_metrics_absorb_engine_counters():
+    sink, result = _pipeline(obs.capture())
+    assert sink.counters["search.candidates"] == result.candidates_examined
+    assert sink.counters["search.evaluations"] == result.evaluations
+    assert sink.counters["search.cache_hits"] == result.cache_hits
+    assert sink.counters["search.bound_skipped"] == result.bound_skipped
+    assert sink.gauges["search.best_cost"] == result.cost
+    assert sink.gauges["sim.iteration_time"] > 0
+
+
+def test_parallel_search_spans_are_thread_safe():
+    graph = build_preset("clip_base")
+    trimmed, _ = trim_auxiliary(graph)
+    ng = coarsen(trimmed)
+    with obs.capture() as sink:
+        derive_plan(ng, Mesh(1, 4), cost_config=CostConfig(batch_tokens=1024),
+                    jobs=4)
+    spans = sink.find("enumerate")
+    assert spans, "no enumerate spans recorded under jobs=4"
+    # every span closed cleanly with a sane interval
+    assert all(s.duration >= 0 and not s.error for s in spans)
+
+
+def test_cli_plan_trace_contains_all_stages(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["plan", "clip_base", "--mesh", "1x4",
+                 "--batch-tokens", "1024", "--trace", str(out)]) == 0
+    assert "trace written" in capsys.readouterr().out
+    events = json.loads(out.read_text())["traceEvents"]
+    names = {e["name"] for e in events}
+    for stage in STAGES:
+        assert stage in names, f"missing stage {stage!r} in CLI trace"
+    # merged timeline: planner (pid 1) + simulated device (pid 0)
+    assert {e["pid"] for e in events} == {0, 1}
+    # tracing is torn down after the command
+    assert not obs.enabled()
+
+
+def test_describe_surfaces_obs_summary():
+    from repro.core.api import auto_parallel
+
+    graph = build_preset("clip_base")
+    with obs.capture():
+        model = auto_parallel(graph, Mesh(1, 4), batch_tokens=1024)
+        text = model.describe()
+    assert "observability:" in text
+    assert "search.candidates" in text
+    # and without a sink the line disappears
+    assert "observability:" not in model.describe()

@@ -1,0 +1,169 @@
+"""The benchmark regression harness: normalise, compare, gate."""
+
+import json
+
+import pytest
+
+from repro.obs import regress
+
+
+class TestNormalize:
+    def test_flattens_numeric_fields(self):
+        metrics = regress.normalize_bench("search", [
+            {"model": "t5", "optimized_s": 0.1, "speedup": 20.0,
+             "label": "ignored", "flag": True},
+        ])
+        assert metrics == {
+            "search/t5/optimized_s": 0.1,
+            "search/t5/speedup": 20.0,
+        }
+
+    def test_derives_cache_hit_rate(self):
+        metrics = regress.normalize_bench("search", [
+            {"model": "t5", "cache_hits": 90, "evaluations": 10},
+        ])
+        assert metrics["search/t5/cache_hit_rate"] == pytest.approx(0.9)
+
+    def test_load_bench_files(self, tmp_path):
+        (tmp_path / "BENCH_search.json").write_text(
+            json.dumps([{"model": "t5", "speedup": 20.0}])
+        )
+        (tmp_path / "BENCH_sim.json").write_text(
+            json.dumps([{"model": "t5", "speedup": 5.0}])
+        )
+        metrics = regress.load_bench_files(tmp_path)
+        assert metrics == {
+            "search/t5/speedup": 20.0,
+            "sim/t5/speedup": 5.0,
+        }
+
+
+class TestDirections:
+    @pytest.mark.parametrize("metric,expected", [
+        ("search/t5/optimized_s", "lower"),
+        ("search/t5/peak_mem_mb", "lower"),
+        ("search/t5/speedup", "higher"),
+        ("search/t5/cache_hit_rate", "higher"),
+        ("sim/t5/overlap_efficiency", "higher"),
+        ("search/t5/candidates", "both"),
+        ("sim/t5/segments", "both"),
+    ])
+    def test_direction_for(self, metric, expected):
+        assert regress.direction_for(metric) == expected
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        m = {"search/t5/optimized_s": 0.1, "search/t5/speedup": 20.0}
+        result = regress.compare(dict(m), dict(m))
+        assert result.ok
+        assert all(r.status == "ok" for r in result.rows)
+
+    def test_slower_wall_time_regresses(self):
+        base = {"search/t5/optimized_s": 0.1}
+        cur = {"search/t5/optimized_s": 0.15}
+        result = regress.compare(cur, base)  # +50% > default 20%
+        assert not result.ok
+        assert result.rows[0].status == "REGRESSED"
+
+    def test_faster_wall_time_passes(self):
+        base = {"search/t5/optimized_s": 0.1}
+        cur = {"search/t5/optimized_s": 0.05}
+        assert regress.compare(cur, base).ok
+
+    def test_lower_speedup_regresses(self):
+        base = {"search/t5/speedup": 20.0}
+        cur = {"search/t5/speedup": 10.0}
+        assert not regress.compare(cur, base).ok
+
+    def test_count_drift_is_two_sided(self):
+        base = {"search/t5/candidates": 100.0}
+        assert not regress.compare({"search/t5/candidates": 130.0}, base).ok
+        assert not regress.compare({"search/t5/candidates": 70.0}, base).ok
+        assert regress.compare({"search/t5/candidates": 100.0}, base).ok
+
+    def test_threshold_override_pattern(self):
+        base = {"search/t5/optimized_s": 0.1}
+        cur = {"search/t5/optimized_s": 0.15}
+        result = regress.compare(cur, base, overrides={"*/optimized_s": 1.0})
+        assert result.ok
+
+    def test_null_override_silences(self):
+        base = {"search/t5/optimized_s": 0.1}
+        cur = {"search/t5/optimized_s": 10.0}
+        result = regress.compare(cur, base, overrides={"*/optimized_s": None})
+        assert result.ok
+        assert result.rows[0].status == "skip"
+
+    def test_missing_metric_fails(self):
+        base = {"search/t5/speedup": 20.0, "search/t5/optimized_s": 0.1}
+        cur = {"search/t5/speedup": 20.0}
+        result = regress.compare(cur, base)
+        assert not result.ok
+        assert [r.status for r in result.rows if r.metric.endswith("_s")] == ["MISSING"]
+
+    def test_new_metric_only_informs(self):
+        base = {"search/t5/speedup": 20.0}
+        cur = {"search/t5/speedup": 20.0, "search/t5/peak_mem_mb": 1.0}
+        result = regress.compare(cur, base)
+        assert result.ok
+        assert {r.status for r in result.rows} == {"ok", "new"}
+
+
+class TestBaselineIO:
+    def test_missing_baseline_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            regress.load_baselines(tmp_path / "nope")
+
+    def test_empty_baseline_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no baseline files"):
+            regress.load_baselines(tmp_path)
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        metrics = {"search/t5/speedup": 20.0, "sim/t5/speedup": 5.0}
+        regress.write_baselines(regress.split_by_suite(metrics), tmp_path)
+        assert sorted(p.name for p in tmp_path.glob("*.json")) == [
+            "search.json", "sim.json"
+        ]
+        assert regress.load_baselines(tmp_path) == metrics
+
+    def test_thresholds_file_loaded_not_treated_as_baseline(self, tmp_path):
+        regress.write_baselines(
+            regress.split_by_suite({"search/t5/speedup": 20.0}), tmp_path
+        )
+        (tmp_path / regress.THRESHOLDS_FILE).write_text(
+            json.dumps({"*/speedup": 0.5})
+        )
+        assert regress.load_baselines(tmp_path) == {"search/t5/speedup": 20.0}
+        assert regress.load_thresholds(tmp_path) == {"*/speedup": 0.5}
+
+
+class TestDeltaTable:
+    def test_table_lists_every_metric_and_verdict(self):
+        base = {"search/t5/optimized_s": 0.1, "search/t5/speedup": 20.0}
+        cur = {"search/t5/optimized_s": 0.2, "search/t5/speedup": 20.0}
+        text = regress.format_delta_table(regress.compare(cur, base))
+        assert "search/t5/optimized_s" in text
+        assert "REGRESSED" in text
+        assert "FAIL: 1 metric(s) regressed" in text
+
+    def test_pass_verdict(self):
+        m = {"search/t5/speedup": 20.0}
+        text = regress.format_delta_table(regress.compare(dict(m), dict(m)))
+        assert text.endswith("PASS: no metric regressed beyond its threshold")
+
+
+class TestRepoGate:
+    """The committed baselines gate the committed BENCH files."""
+
+    def test_committed_bench_files_pass_the_committed_gate(self):
+        from pathlib import Path
+
+        root = Path(__file__).parent.parent.parent
+        baseline = regress.load_baselines(root / "benchmarks" / "baselines")
+        current = regress.load_bench_files(root)
+        result = regress.compare(
+            current, baseline,
+            overrides=regress.load_thresholds(root / "benchmarks" / "baselines"),
+        )
+        assert result.ok, regress.format_delta_table(result)

@@ -1,0 +1,111 @@
+"""Sink round-trips: JSONL persistence and Chrome-trace export/merge."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics, trace
+from repro.obs.sinks import PLANNER_PID
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    trace.disable()
+    yield
+    trace.disable()
+
+
+def _record_sample(*sinks):
+    trace.enable(*sinks)
+    try:
+        with trace.span("prune", nodes=10):
+            with trace.span("enumerate", block="layer"):
+                pass
+        metrics.counter("search.candidates", 729)
+        metrics.gauge("search.best_cost", 0.5)
+    finally:
+        trace.disable()
+
+
+class TestJSONL:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _record_sample(obs.JSONLSink(path))
+        records = obs.read_jsonl(path)
+        assert [type(r).__name__ for r in records] == [
+            "SpanRecord", "SpanRecord", "MetricRecord", "MetricRecord"
+        ]
+        spans = [r for r in records if isinstance(r, obs.SpanRecord)]
+        assert {s.name for s in spans} == {"prune", "enumerate"}
+        assert [r.as_dict() for r in records] == [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+
+    def test_accepts_open_file_handle(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fh:
+            _record_sample(obs.JSONLSink(fh))
+        assert len(obs.read_jsonl(path)) == 4
+
+    def test_record_from_dict_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            obs.record_from_dict({"type": "mystery"})
+
+
+class TestChromeTrace:
+    def test_events_well_formed(self):
+        sink = obs.ChromeTraceSink()
+        _record_sample(sink)
+        events = sink.events()
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+        assert meta[0]["args"]["name"] == "planner"
+
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"prune", "enumerate"}
+        for e in xs:
+            assert e["pid"] == PLANNER_PID
+            assert e["ts"] >= 0 and e["dur"] >= 0
+
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and counters[0]["name"] == "search.candidates"
+        assert counters[0]["args"]["value"] == 729
+
+    def test_merge_without_profile_is_planner_only(self):
+        sink = obs.ChromeTraceSink()
+        _record_sample(sink)
+        assert obs.merged_chrome_trace(sink) == sink.events()
+
+    def test_merge_with_simulated_profile(self):
+        from repro.cluster import Mesh
+        from repro.core import CostConfig, coarsen, derive_plan
+        from repro.graph import trim_auxiliary
+        from repro.models import build_preset
+        from repro.simulator import simulate_iteration
+
+        trimmed, _ = trim_auxiliary(build_preset("clip_base"))
+        ng = coarsen(trimmed)
+        mesh = Mesh(1, 4)
+        cfg = CostConfig(batch_tokens=1024)
+        sink = obs.ChromeTraceSink()
+        trace.enable(sink)
+        try:
+            result = derive_plan(ng, mesh, cost_config=cfg)
+            prof = simulate_iteration(result.routed, mesh, cfg)
+        finally:
+            trace.disable()
+        events = obs.merged_chrome_trace(sink, prof)
+        pids = {e["pid"] for e in events}
+        assert pids == {0, PLANNER_PID}
+        sim_names = {e["name"] for e in events if e["pid"] == 0}
+        assert any(n.startswith("fwd:") for n in sim_names)
+
+    def test_save_trace_events(self, tmp_path):
+        sink = obs.ChromeTraceSink()
+        _record_sample(sink)
+        path = tmp_path / "trace.json"
+        obs.save_trace_events(sink.events(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"] == sink.events()

@@ -1,0 +1,138 @@
+"""The span layer: nesting, exceptions, the disabled fast path, capture."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Every test starts and ends with observability off."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_singleton(self):
+        # identity, not just equality: the fast path allocates nothing
+        assert trace.span("a") is trace.span("b", attr=1)
+
+    def test_disabled_span_is_a_usable_context_manager(self):
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+
+    def test_disabled_metrics_are_noops(self):
+        metrics.counter("x", 5)
+        metrics.gauge("y", 1.0)
+
+    def test_enabled_flag(self):
+        assert not trace.enabled()
+        assert not metrics.enabled()
+        trace.enable()
+        assert trace.enabled()
+        assert metrics.enabled()
+
+
+class TestSpans:
+    def test_span_records_on_close(self):
+        with obs.capture() as sink:
+            with trace.span("outer", model="t5"):
+                pass
+        assert sink.span_names() == ["outer"]
+        rec = sink.spans[0]
+        assert rec.duration >= 0
+        assert rec.depth == 0
+        assert rec.attrs == {"model": "t5"}
+        assert not rec.error
+
+    def test_nested_spans_record_depth_inner_first(self):
+        with obs.capture() as sink:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        # spans report at close, so the inner one lands first
+        assert sink.span_names() == ["inner", "outer"]
+        assert sink.find("inner")[0].depth == 1
+        assert sink.find("outer")[0].depth == 0
+
+    def test_span_closes_under_exception_and_marks_error(self):
+        with obs.capture() as sink:
+            with pytest.raises(ValueError):
+                with trace.span("outer"):
+                    with trace.span("inner"):
+                        raise ValueError("boom")
+        assert sink.span_names() == ["inner", "outer"]
+        assert all(s.error for s in sink.spans)
+        # the stack fully unwound: a fresh span sits at depth 0 again
+        with obs.capture() as sink2:
+            with trace.span("after"):
+                pass
+        assert sink2.find("after")[0].depth == 0
+
+    def test_spans_nest_per_thread(self):
+        records = {}
+
+        def worker(tag):
+            with trace.span(tag):
+                pass
+
+        with obs.capture() as sink:
+            with trace.span("main-outer"):
+                t = threading.Thread(target=worker, args=("worker-span",))
+                t.start()
+                t.join()
+        records = {s.name: s for s in sink.spans}
+        # the worker's span is not nested under the main thread's
+        assert records["worker-span"].depth == 0
+        assert records["worker-span"].thread != records["main-outer"].thread
+
+
+class TestMetrics:
+    def test_counters_accumulate_gauges_overwrite(self):
+        with obs.capture() as sink:
+            metrics.counter("hits", 2)
+            metrics.counter("hits", 3)
+            metrics.gauge("best", 10.0)
+            metrics.gauge("best", 7.0)
+        assert sink.counters == {"hits": 5}
+        assert sink.gauges == {"best": 7.0}
+
+    def test_memory_sink_summary(self):
+        with obs.capture() as sink:
+            with trace.span("prune"):
+                pass
+            metrics.counter("prune.families", 4)
+        assert "1 spans" in sink.summary()
+        assert "prune.families=4" in sink.summary()
+
+
+class TestCapture:
+    def test_capture_restores_previous_state(self):
+        assert not trace.enabled()
+        with obs.capture():
+            assert trace.enabled()
+        assert not trace.enabled()
+
+    def test_captures_nest(self):
+        with obs.capture() as outer:
+            with trace.span("a"):
+                pass
+            with obs.capture() as inner:
+                with trace.span("b"):
+                    pass
+            with trace.span("c"):
+                pass
+        # the inner capture scopes a sink of its own ...
+        assert inner.span_names() == ["b"]
+        # ... while the outer capture stays installed throughout
+        assert outer.span_names() == ["a", "b", "c"]
+
+    def test_memory_sink_lookup(self):
+        with obs.capture() as sink:
+            assert obs.memory_sink() is sink
+        assert obs.memory_sink() is None
