@@ -143,18 +143,20 @@ def cmd_plan(args) -> int:
 
 
 def _run_plan(args, trimmed, trim_record, ng, mesh, cfg, chrome) -> int:
+    tier = "reference" if args.no_engine else args.engine
     result = derive_plan(
         ng, mesh,
         cost_config=cfg,
         min_duplicate=args.min_duplicate,
-        engine=not args.no_engine,
+        engine=tier,
         jobs=args.jobs,
     )
     print(f"model: {args.model}   mesh: {mesh}")
     print(f"searched {result.candidates_examined} candidates "
           f"({result.valid_plans} valid) in {result.search_seconds:.2f}s")
-    if not args.no_engine:
-        print(f"engine: {result.evaluations} node evaluations, "
+    if tier != "reference":
+        noun = "columns compiled" if tier == "columnar" else "node evaluations"
+        print(f"{tier}: {result.evaluations} {noun}, "
               f"{result.cache_hits} cache hits, "
               f"{result.bound_skipped} candidates bound-skipped")
     print(f"best: {result.plan.describe()}")
@@ -323,9 +325,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-duplicate", type=int, default=2)
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="threads for independent family x TP-degree searches")
+    p.add_argument("--engine", choices=("engine", "reference", "columnar"),
+                   default="engine",
+                   help="evaluation tier: the memoized engine (default), "
+                        "the reference per-candidate loop, or the "
+                        "vectorized columnar core")
     p.add_argument("--no-engine", action="store_true",
-                   help="use the reference per-candidate loop instead of "
-                        "the memoized evaluation engine")
+                   help="alias for --engine reference (kept for "
+                        "compatibility)")
     p.add_argument("-o", "--output", help="save the plan as JSON")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the static plan verifier")

@@ -23,11 +23,13 @@ from .routing import (
 )
 from .cost import CostBreakdown, CostConfig, CostModel, plan_cost
 from .packing import Bucket, PackingConfig, pack_gradients
+from .columnar import ColumnarEvaluator, columnar_block_search
 from .evaluate import (
     BlockEvaluator,
     BlockSearchOutcome,
     decision_groups,
     iter_gray_plans,
+    normalize_engine,
     search_block_candidates,
 )
 from .planner import (
@@ -85,8 +87,11 @@ __all__ = [
     "pack_gradients",
     "BlockEvaluator",
     "BlockSearchOutcome",
+    "ColumnarEvaluator",
+    "columnar_block_search",
     "decision_groups",
     "iter_gray_plans",
+    "normalize_engine",
     "search_block_candidates",
     "FamilySearch",
     "SearchResult",

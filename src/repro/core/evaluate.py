@@ -71,9 +71,32 @@ __all__ = [
     "BlockEvaluator",
     "BlockSearchOutcome",
     "decision_groups",
+    "iter_gray_digits",
     "iter_gray_plans",
+    "normalize_engine",
     "search_block_candidates",
 ]
+
+#: The selectable evaluation tiers, cheapest-per-candidate first.
+ENGINE_TIERS = ("reference", "engine", "columnar")
+
+
+def normalize_engine(engine) -> str:
+    """Map the ``engine=`` knob onto a tier name.
+
+    ``True``/``False`` keep their original meaning (the memoized engine /
+    the reference per-candidate loop); the strings ``"engine"``,
+    ``"reference"`` and ``"columnar"`` name the tiers directly.
+    """
+    if engine is True:
+        return "engine"
+    if engine is False:
+        return "reference"
+    if engine in ENGINE_TIERS:
+        return engine
+    raise ValueError(
+        f"engine must be True, False, or one of {ENGINE_TIERS}, got {engine!r}"
+    )
 
 #: Outcome of one :meth:`BlockEvaluator.evaluate` call.
 EVAL_VALID = 0
@@ -109,6 +132,62 @@ def decision_groups(
     return list(groups.values())
 
 
+def iter_gray_digits(
+    groups: List[Tuple[List[str], List[str]]],
+    max_plans: int = 50_000,
+) -> Iterator[Tuple[Optional[Tuple[int, ...]], Optional[int]]]:
+    """Per-group option indices in mixed-radix reflected Gray order.
+
+    The digit-level core of :func:`iter_gray_plans`: yields
+    ``(option_indices, changed)`` where ``option_indices[g]`` picks
+    ``groups[g][1][option_indices[g]]`` and ``changed`` is the single
+    group whose option differs from the previous candidate (``None`` for
+    the first).  A trailing ``(None, None)`` stands for the guaranteed
+    empty-assignment fallback when the ``max_plans`` guard truncated the
+    walk before any all-replicate candidate appeared.  The columnar tier
+    consumes this directly — candidate vectors are integer rows, so no
+    name dictionaries are materialised per candidate.
+    """
+    n = len(groups)
+    if n == 0:
+        yield None, None
+        return
+    radix = [len(groups[n - 1 - j][1]) for j in range(n)]
+    digits = [0] * n
+    focus = list(range(n + 1))
+    direction = [1] * n
+    #: option index per *group* (``digits`` is per Gray digit ``j``, which
+    #: drives group ``n-1-j``)
+    chosen = [0] * n
+    nonreplicate = sum(1 for _, options in groups if options[0] != "replicate")
+    replicate_seen = False
+    changed: Optional[int] = None
+    count = 0
+    while count < max_plans:
+        if nonreplicate == 0:
+            replicate_seen = True
+        yield tuple(chosen), changed
+        count += 1
+        j = focus[0]
+        focus[0] = 0
+        if j == n:  # every combination visited
+            break
+        digits[j] += direction[j]
+        if digits[j] == 0 or digits[j] == radix[j] - 1:
+            direction[j] = -direction[j]
+            focus[j] = focus[j + 1]
+            focus[j + 1] = j + 1
+        changed = n - 1 - j
+        options = groups[changed][1]
+        was_sharded = options[chosen[changed]] != "replicate"
+        now_sharded = options[digits[j]] != "replicate"
+        if was_sharded != now_sharded:
+            nonreplicate += 1 if now_sharded else -1
+        chosen[changed] = digits[j]
+    if not replicate_seen:
+        yield None, None
+
+
 def iter_gray_plans(
     groups: List[Tuple[List[str], List[str]]],
     max_plans: int = 50_000,
@@ -128,45 +207,25 @@ def iter_gray_plans(
     assignment is yielded last — the search is guaranteed its fallback no
     matter how the enumeration is cut short.
     """
-    n = len(groups)
-    if n == 0:
+    if not groups:
         yield {}, None
         return
-    radix = [len(groups[n - 1 - j][1]) for j in range(n)]
-    digits = [0] * n
-    focus = list(range(n + 1))
-    direction = [1] * n
-    assignment = {
-        name: options[0] for names, options in groups for name in names
-    }
-    nonreplicate = sum(1 for _, options in groups if options[0] != "replicate")
-    replicate_seen = False
-    changed: Optional[int] = None
-    count = 0
-    while count < max_plans:
-        if nonreplicate == 0:
-            replicate_seen = True
+    assignment: Dict[str, str] = {}
+    for chosen, changed in iter_gray_digits(groups, max_plans):
+        if chosen is None:
+            yield {}, None
+            continue
+        if changed is None:
+            for g, (names, options) in enumerate(groups):
+                option = options[chosen[g]]
+                for name in names:
+                    assignment[name] = option
+        else:
+            names, options = groups[changed]
+            option = options[chosen[changed]]
+            for name in names:
+                assignment[name] = option
         yield dict(assignment), changed
-        count += 1
-        j = focus[0]
-        focus[0] = 0
-        if j == n:  # every combination visited
-            break
-        digits[j] += direction[j]
-        if digits[j] == 0 or digits[j] == radix[j] - 1:
-            direction[j] = -direction[j]
-            focus[j] = focus[j + 1]
-            focus[j + 1] = j + 1
-        changed = n - 1 - j
-        names, options = groups[changed]
-        option = options[digits[j]]
-        was_sharded = assignment[names[0]] != "replicate"
-        if was_sharded != (option != "replicate"):
-            nonreplicate += 1 if option != "replicate" else -1
-        for name in names:
-            assignment[name] = option
-    if not replicate_seen:
-        yield {}, None
 
 
 class BlockEvaluator:
@@ -533,24 +592,27 @@ def search_block_candidates(
     tp_degree: int,
     cost_model: CostModel,
     max_plans: int = 50_000,
-    engine: bool = True,
+    engine=True,
     use_bound: bool = True,
 ) -> BlockSearchOutcome:
     """Sweep every candidate assignment of *block* and keep the cheapest.
 
-    ``engine=False`` runs the reference path — a fresh :func:`route_plan`
-    and :meth:`CostModel.plan_cost` per candidate — over the *same*
-    Gray-ordered enumeration, so the two paths examine identical candidate
-    sequences and, by strict first-wins comparison, select the identical
-    assignment at the identical cost.  ``use_bound=False`` disables the
-    branch-and-bound (every valid candidate is then fully priced and
-    counted).
+    ``engine`` selects the evaluation tier (see :func:`normalize_engine`):
+    ``False``/``"reference"`` runs a fresh :func:`route_plan` and
+    :meth:`CostModel.plan_cost` per candidate, ``True``/``"engine"`` the
+    memoized incremental evaluator, and ``"columnar"`` the array-batched
+    core — all over the *same* Gray-ordered enumeration, so every tier
+    examines the identical candidate sequence and, by strict first-wins
+    comparison, selects the identical assignment at the identical cost.
+    ``use_bound=False`` disables the branch-and-bound (every valid
+    candidate is then fully priced and counted).
     """
+    tier = normalize_engine(engine)
     with trace.span(
-        "enumerate", block=block.name, tp=tp_degree, engine=engine
+        "enumerate", block=block.name, tp=tp_degree, engine=tier
     ):
         out = _search_block_candidates(
-            block, registry, tp_degree, cost_model, max_plans, engine, use_bound
+            block, registry, tp_degree, cost_model, max_plans, tier, use_bound
         )
     if metrics.enabled():
         # Published once per sweep — never per candidate — so the engine's
@@ -571,13 +633,26 @@ def _search_block_candidates(
     tp_degree: int,
     cost_model: CostModel,
     max_plans: int,
-    engine: bool,
+    tier: str,
     use_bound: bool,
 ) -> BlockSearchOutcome:
     out = BlockSearchOutcome()
     groups = decision_groups(block, registry, tp_degree)
+    if not groups:
+        # All-replicate fast path: a block whose every decision group is a
+        # single pattern has exactly one candidate — the assembled plan's
+        # default — so the family sweep has nothing to enumerate.  All
+        # tiers take this exit, keeping their counters identical.
+        return out
+    if tier == "columnar":
+        from .columnar import columnar_block_search
+
+        return columnar_block_search(
+            block, registry, tp_degree, cost_model, max_plans, use_bound,
+            groups,
+        )
     plans = iter_gray_plans(groups, max_plans)
-    if not engine:
+    if tier == "reference":
         for assignment, _changed in plans:
             out.candidates += 1
             candidate = ShardingPlan.of(assignment, tp_degree)

@@ -24,6 +24,10 @@ class GraphNode:
     name: str
     ops: List[Operator] = field(default_factory=list)
     inputs: Tuple[str, ...] = ()
+    #: lazy signature() memo — ops never change once the node is built
+    _signature: Optional[Tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -73,7 +77,11 @@ class GraphNode:
 
     def signature(self) -> Tuple:
         """Name-free structural identity for similarity comparison."""
-        return tuple(sorted((op.signature() for op in self.ops), key=repr))
+        if self._signature is None:
+            self._signature = tuple(
+                sorted((op.signature() for op in self.ops), key=repr)
+            )
+        return self._signature
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GraphNode({self.name!r}, ops={len(self.ops)}, kind={self.kind})"

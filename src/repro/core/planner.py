@@ -35,12 +35,14 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..cluster import Mesh
 from ..obs import metrics, trace
 from .cost import CostConfig, CostModel
+from .columnar import ColumnarEvaluator
 from .evaluate import (
     EVAL_VALID,
     BlockEvaluator,
     BlockSearchOutcome,
     decision_groups,
     iter_gray_plans,
+    normalize_engine,
     search_block_candidates,
 )
 from .graphnode import NodeGraph
@@ -169,23 +171,26 @@ def derive_plan(
     tp_degrees: Optional[Sequence[int]] = None,
     max_plans_per_block: int = 50_000,
     use_pruning: bool = True,
-    engine: bool = True,
+    engine=True,
     use_bound: bool = True,
     jobs: int = 1,
 ) -> SearchResult:
     """Run the full TAP derivation (Algorithm 2) and return the best plan.
 
     ``use_pruning=False`` searches the whole graph as a single block — the
-    ablation that demonstrates why Algorithm 1 matters.  ``engine=False``
-    swaps the candidate-evaluation engine for the reference
-    route-everything loop; ``use_bound=False`` keeps the engine but
-    disables branch-and-bound.  ``jobs`` > 1 searches independent
+    ablation that demonstrates why Algorithm 1 matters.  ``engine``
+    selects the candidate-evaluation tier: ``False``/``"reference"`` is
+    the route-everything loop, ``True``/``"engine"`` the memoized
+    incremental evaluator, ``"columnar"`` the array-batched core;
+    ``use_bound=False`` keeps the chosen tier but disables
+    branch-and-bound.  ``jobs`` > 1 searches independent
     (family × TP degree) blocks on a thread pool — the selected plan and
     cost are identical for every setting of these knobs.
     """
     start = time.perf_counter()
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    tier = normalize_engine(engine)
     cost_model = CostModel(mesh, cost_config)
     prune = prune_graph(node_graph, min_duplicate=min_duplicate if use_pruning else 0)
     degrees = _candidate_tp_degrees(mesh, tp_degrees)
@@ -199,14 +204,25 @@ def derive_plan(
     family_blocks: List[Tuple[Optional[SubgraphFamily], NodeGraph]] = []
     uncovered_block: Optional[NodeGraph] = None
     if use_pruning:
-        for fam in prune.families:
-            family_blocks.append(
-                (fam, node_graph.subgraph(fam.member_nodes[0], name=fam.normalized))
+        # Prune results are memoised on the graph, so the block objects
+        # can ride along: reusing them lets block-level compile caches
+        # (the columnar skeleton) survive across repeat derives.
+        blocks = getattr(prune, "_planner_blocks", None)
+        if blocks is None:
+            reps = [
+                node_graph.subgraph(fam.member_nodes[0], name=fam.normalized)
+                for fam in prune.families
+            ]
+            residual = (
+                node_graph.subgraph(prune.uncovered, name="uncovered")
+                if prune.uncovered
+                else None
             )
-        if prune.uncovered:
-            residual = node_graph.subgraph(prune.uncovered, name="uncovered")
-            if residual.weight_nodes():
-                uncovered_block = residual
+            blocks = (reps, residual)
+            prune._planner_blocks = blocks
+        family_blocks = list(zip(prune.families, blocks[0]))
+        if blocks[1] is not None and blocks[1].weight_nodes():
+            uncovered_block = blocks[1]
     else:
         family_blocks = [(None, node_graph)]
 
@@ -217,7 +233,7 @@ def derive_plan(
             tp,
             cost_model,
             max_plans=max_plans_per_block,
-            engine=engine,
+            engine=tier,
             use_bound=use_bound,
         )
 
@@ -239,7 +255,7 @@ def derive_plan(
     def search_uncovered(
         tp: int,
         assignment: Dict[str, str],
-        evaluator: Optional[BlockEvaluator],
+        evaluator,
     ) -> FamilySearch:
         # Uncovered nodes interact with the family plans through their
         # boundary conversions, so they are priced against the *full*
@@ -258,10 +274,11 @@ def derive_plan(
         )
         current: Dict[str, str] = {}
 
-        if engine:
+        if evaluator is not None:
             # Full-graph evaluator: each trial changes one decision group,
             # so routing and pricing resume from the first changed node
-            # and most node outcomes come straight from the memo table.
+            # and most node outcomes come straight from the memo table
+            # (or, on the columnar tier, from the compiled column tables).
             def full_cost(extra: Dict[str, str]) -> Optional[float]:
                 status, cost = evaluator.price({**assignment, **extra})
                 if status != EVAL_VALID:
@@ -282,15 +299,30 @@ def derive_plan(
         if base_cost is not None:
             record.valid += 1
             record.best_cost = base_cost
+        price_batch = getattr(evaluator, "price_batch", None)
         for names, options in groups:
             best_option, best_cost_here = "replicate", record.best_cost
-            for option in options:
-                if option == "replicate":
-                    continue
+            tried = [option for option in options if option != "replicate"]
+            if price_batch is not None and tried:
+                # One batched compute per group; each trial prices with no
+                # incumbent, so the batch replays the sequential trials
+                # exactly (same statuses, costs and counter increments).
+                base = {**assignment, **current}
+                outcomes_here = price_batch(
+                    base, [{n: option for n in names} for option in tried]
+                )
+                costs = [
+                    cost if status == EVAL_VALID else None
+                    for status, cost in outcomes_here
+                ]
+            else:
+                costs = []
+                for option in tried:
+                    trial = dict(current)
+                    trial.update({n: option for n in names})
+                    costs.append(full_cost(trial))
+            for option, cost in zip(tried, costs):
                 record.candidates += 1
-                trial = dict(current)
-                trial.update({n: option for n in names})
-                cost = full_cost(trial)
                 if cost is None:
                     continue
                 record.valid += 1
@@ -301,7 +333,7 @@ def derive_plan(
                 current.update({n: best_option for n in names})
                 record.best_cost = best_cost_here
         record.best_assignment = current
-        if engine:
+        if evaluator is not None:
             record.evaluations = evaluator.evaluations
             record.cache_hits = evaluator.cache_hits
         return record
@@ -342,11 +374,12 @@ def derive_plan(
                     )
                 else:
                     assignment.update(o.best_assignment)
-        evaluator = (
-            BlockEvaluator(node_graph, registry, tp, cost_model)
-            if engine
-            else None
-        )
+        if tier == "engine":
+            evaluator = BlockEvaluator(node_graph, registry, tp, cost_model)
+        elif tier == "columnar":
+            evaluator = ColumnarEvaluator(node_graph, registry, tp, cost_model)
+        else:
+            evaluator = None
         if uncovered_block is not None:
             record = search_uncovered(tp, assignment, evaluator)
             records.append(record)
@@ -363,8 +396,8 @@ def derive_plan(
                 metrics.counter("search.cache_hits", record.cache_hits,
                                 block="uncovered", tp=tp)
         full_plan = ShardingPlan.of(assignment, tp, name=f"tap-tp{tp}")
-        if engine:
-            with trace.span("price", tp=tp, engine=True):
+        if evaluator is not None:
+            with trace.span("price", tp=tp, engine=tier):
                 status, cost = evaluator.price(assignment)
             if status != EVAL_VALID:
                 return records, None
@@ -373,7 +406,7 @@ def derive_plan(
             routed_full = route_plan(node_graph, full_plan, registry)
         except RoutingError:
             return records, None
-        with trace.span("price", tp=tp, engine=False):
+        with trace.span("price", tp=tp, engine=tier):
             cost = cost_model.plan_cost(routed_full)
         return records, (full_plan, routed_full, cost)
 

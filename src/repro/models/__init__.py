@@ -8,6 +8,7 @@ from .moe import MoEConfig, build_m6, build_moe_transformer
 from .clip import CLIPConfig, build_clip
 from .wav2vec import Wav2VecConfig, build_wav2vec
 from .configs import (
+    LARGE_PRESETS,
     MODEL_PRESETS,
     TABLE1_PRESETS,
     build_preset,
@@ -34,6 +35,7 @@ __all__ = [
     "build_clip",
     "Wav2VecConfig",
     "build_wav2vec",
+    "LARGE_PRESETS",
     "MODEL_PRESETS",
     "TABLE1_PRESETS",
     "build_preset",

@@ -21,6 +21,7 @@ from .vit import ViTConfig, build_vit
 from .wav2vec import Wav2VecConfig, build_wav2vec
 
 __all__ = [
+    "LARGE_PRESETS",
     "MODEL_PRESETS",
     "TABLE1_PRESETS",
     "build_preset",
@@ -120,11 +121,25 @@ TABLE1_PRESETS: Dict[str, dict] = {
     },
 }
 
-#: All presets, including the convergence-study models.
+#: Order-of-magnitude-larger configs for the columnar scaling benchmarks:
+#: graph sizes where the per-candidate engine's per-node Python loop is the
+#: bottleneck.  Excluded from the per-preset integration sweeps (like the
+#: ``m6_*`` convergence models) — the scale tests opt in explicitly.
+LARGE_PRESETS: Dict[str, Callable[[], Graph]] = {
+    "t5_96l": lambda: t5_with_depth(96),
+    "resnet_300k": lambda: resnet_with_classes(300_000),
+    "moe_deep": lambda: build_moe_transformer(
+        MoEConfig(name="moe_deep", hidden=1024, ffn_dim=4096, num_heads=16,
+                  num_layers=48, num_experts=64, moe_every=1)
+    ),
+}
+
+#: All presets, including the convergence-study and scaling models.
 MODEL_PRESETS: Dict[str, Callable[[], Graph]] = {
     **{name: row["build"] for name, row in TABLE1_PRESETS.items()},
     "m6_moe_100b": lambda: build_m6("100B"),
     "m6_moe_1t": lambda: build_m6("1T"),
+    **LARGE_PRESETS,
 }
 
 

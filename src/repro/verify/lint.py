@@ -29,6 +29,14 @@ Rules
     ``time.time``/``perf_counter``-style clock reads or any ``random``
     use inside the pricing/simulation modules — results there must be a
     pure function of the plan, the mesh and the config.
+``lint/columnar-scalar-loop``
+    A Python ``for`` loop or comprehension iterating one of the compiled
+    columnar arrays element-wise inside ``core/columnar*.py`` (iterables
+    named ``*mat``/``*_col``/``*_cols``/``*_tab``/``*_arr``, including
+    through ``range``/``len``/``enumerate``/``zip``/``reversed``).  The
+    columnar tier's whole contract is that per-node work is batched array
+    ops; a scalar loop over those arrays silently reintroduces the
+    per-node floor the tier exists to remove.
 
 False positives are suppressed inline with ``# repro-lint: ignore[rule]``
 (comma-separate several rules; the bare rule name or its ``lint/``-prefixed
@@ -57,6 +65,8 @@ LINT_RULES: Dict[str, str] = {
     "from it breaks bit-exact replay",
     "lint/wallclock": "clock/RNG reads make pricing impure; costs must be a "
     "function of plan x mesh x config",
+    "lint/columnar-scalar-loop": "per-element Python loops over the compiled "
+    "columnar arrays reintroduce the per-node floor the tier removes",
 }
 
 _PRAGMA = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
@@ -65,6 +75,7 @@ _PRAGMA = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
 #: simulation must be pure).  convergence.py is deliberately absent: seeded
 #: synthetic curves are its purpose.
 _WALLCLOCK_MODULES = (
+    "core/columnar.py",
     "core/cost.py",
     "core/evaluate.py",
     "core/packing.py",
@@ -93,6 +104,37 @@ def _in_core_or_simulator(path: str) -> bool:
 def _is_wallclock_module(path: str) -> bool:
     p = _norm(path)
     return any(p.endswith(m) for m in _WALLCLOCK_MODULES)
+
+
+#: iterable-name suffixes that mark a compiled columnar array.
+_COLUMNAR_ARRAY_SUFFIXES = ("mat", "_col", "_cols", "_tab", "_arr")
+
+_COLUMNAR_FILE = re.compile(r"(^|/)core/columnar[^/]*\.py$")
+
+
+def _is_columnar_module(path: str) -> bool:
+    return bool(_COLUMNAR_FILE.search(_norm(path)))
+
+
+def _columnar_iterable(node: ast.AST) -> bool:
+    """Does this iterable expression resolve to a columnar array?
+
+    Matches a bare name or attribute whose terminal identifier carries a
+    columnar-array suffix, and sees through the usual scalar-loop
+    wrappers (``range(len(optmat))``, ``enumerate(...)``, ``zip(...)``,
+    ``reversed(...)``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id.endswith(_COLUMNAR_ARRAY_SUFFIXES)
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith(_COLUMNAR_ARRAY_SUFFIXES)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("range", "len", "enumerate", "zip", "reversed")
+    ):
+        return any(_columnar_iterable(a) for a in node.args)
+    return False
 
 
 def _suppressions(source: str) -> Dict[int, Set[str]]:
@@ -149,6 +191,7 @@ class _Linter(ast.NodeVisitor):
         self._fn_stack: List[str] = []
         self._scoped = _in_core_or_simulator(self.path)
         self._wallclock = _is_wallclock_module(self.path)
+        self._columnar = _is_columnar_module(self.path)
 
     # -- plumbing ----------------------------------------------------------
     def run(self, tree: ast.AST) -> List[Diagnostic]:
@@ -265,9 +308,29 @@ class _Linter(ast.NodeVisitor):
                 hint="wrap in sorted(...) or restructure to an ordered "
                 "container",
             )
+        if self._columnar and _columnar_iterable(node.iter):
+            self._flag(
+                "lint/columnar-scalar-loop",
+                node.iter,
+                "per-element Python loop over a columnar array",
+                hint="batch the work as array ops; if this loop is "
+                "genuinely per-row control flow, suppress with "
+                "# repro-lint: ignore[columnar-scalar-loop]",
+            )
         self.generic_visit(node)
 
     def _check_comprehension(self, node) -> None:
+        if self._columnar:
+            for gen in node.generators:
+                if _columnar_iterable(gen.iter):
+                    self._flag(
+                        "lint/columnar-scalar-loop",
+                        node,
+                        "per-element comprehension over a columnar array",
+                        hint="batch the work as array ops; if this loop is "
+                        "genuinely per-row control flow, suppress with "
+                        "# repro-lint: ignore[columnar-scalar-loop]",
+                    )
         if not self._scoped:
             self.generic_visit(node)
             return
@@ -297,8 +360,7 @@ class _Linter(ast.NodeVisitor):
     visit_DictComp = _check_comprehension
     visit_GeneratorExp = _check_comprehension
 
-    def visit_SetComp(self, node: ast.SetComp) -> None:
-        self.generic_visit(node)
+    visit_SetComp = _check_comprehension
 
     # -- lint/wallclock ----------------------------------------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:

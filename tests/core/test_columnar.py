@@ -1,0 +1,117 @@
+"""Property sweep: the columnar tier is bit-identical to the other tiers.
+
+The columnar search core (``engine="columnar"``) re-expresses enumeration,
+routing, and pricing as batched array ops.  Its contract is exact parity:
+for every model in the zoo and every mesh, the selected plan, its cost,
+and the search counters must equal both the reference loop and the
+memoized engine — not approximately, *exactly*.
+"""
+
+import pytest
+
+from repro.cluster import Mesh, paper_testbed
+from repro.core import coarsen, derive_plan, routed_from_json, routed_to_json
+from repro.graph import trim_auxiliary
+from repro.models import LARGE_PRESETS, MODEL_PRESETS, build_preset
+
+TIERS = ("reference", "engine", "columnar")
+
+SMALL_PRESETS = [
+    n for n in MODEL_PRESETS
+    if not n.startswith("m6") and n not in LARGE_PRESETS
+]
+
+MESHES = {
+    "testbed_2x8": paper_testbed(2, 8),
+    "testbed_1x8": paper_testbed(1, 8),
+    "flat_1x4": Mesh(num_nodes=1, gpus_per_node=4),
+}
+
+
+def _graph(preset):
+    trimmed, _ = trim_auxiliary(build_preset(preset))
+    return coarsen(trimmed)
+
+
+def _derive_all_tiers(node_graph, mesh, **kwargs):
+    return {
+        tier: derive_plan(node_graph, mesh, engine=tier, **kwargs)
+        for tier in TIERS
+    }
+
+
+def _assert_tiers_identical(results):
+    ref = results["reference"]
+    for tier in ("engine", "columnar"):
+        got = results[tier]
+        assert got.plan == ref.plan, tier
+        assert got.cost == ref.cost, tier
+        assert got.tp_degree == ref.tp_degree, tier
+        assert got.candidates_examined == ref.candidates_examined, tier
+        # Bounded candidates are abandoned before validity is known, so
+        # valid_plans may undercount the reference loop — but never exceed.
+        assert got.valid_plans <= ref.valid_plans, tier
+    # The incremental and columnar evaluators share bound semantics
+    # exactly: identical valid counts and identical skip decisions.
+    assert results["columnar"].valid_plans == results["engine"].valid_plans
+    assert results["columnar"].bound_skipped == results["engine"].bound_skipped
+
+
+@pytest.mark.parametrize("preset", SMALL_PRESETS)
+def test_all_tiers_agree_on_zoo(preset):
+    results = _derive_all_tiers(_graph(preset), paper_testbed(2, 8))
+    _assert_tiers_identical(results)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("preset", sorted(LARGE_PRESETS))
+def test_all_tiers_agree_on_large_graphs(preset):
+    results = _derive_all_tiers(_graph(preset), paper_testbed(2, 8))
+    _assert_tiers_identical(results)
+
+
+@pytest.mark.parametrize("mesh_name", sorted(MESHES))
+@pytest.mark.parametrize("preset", ["t5_large", "resnet50"])
+def test_tiers_agree_across_meshes(preset, mesh_name):
+    results = _derive_all_tiers(_graph(preset), MESHES[mesh_name])
+    _assert_tiers_identical(results)
+
+
+@pytest.mark.parametrize("preset", ["t5_large", "switch_like"])
+def test_tiers_agree_without_bound(preset):
+    """Disabling branch-and-bound must not change the winner in any tier."""
+    ng = _graph(preset)
+    bounded = _derive_all_tiers(ng, paper_testbed(2, 8))
+    unbounded = _derive_all_tiers(ng, paper_testbed(2, 8), use_bound=False)
+    _assert_tiers_identical(unbounded)
+    # With the bound off every candidate is fully classified, so the
+    # valid count matches the reference loop exactly in every tier.
+    assert (
+        unbounded["columnar"].valid_plans == unbounded["reference"].valid_plans
+    )
+    assert unbounded["columnar"].plan == bounded["columnar"].plan
+    assert unbounded["columnar"].cost == bounded["columnar"].cost
+    assert unbounded["columnar"].bound_skipped == 0
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_columnar_winner_round_trips_through_json(jobs):
+    """The columnar winner's RoutedPlan survives serialisation exactly,
+    through both the serial and the threaded (``jobs=``) search paths."""
+    ng = _graph("t5_large")
+    result = derive_plan(ng, paper_testbed(2, 8), engine="columnar", jobs=jobs)
+    routed = result.routed
+    restored = routed_from_json(routed_to_json(routed), ng)
+    assert restored == routed
+    assert restored.plan == result.plan
+
+
+def test_columnar_counters_reported():
+    """The columnar evaluator reports its tier-specific diagnostics:
+    ``evaluations`` counts compiled columns, ``cache_hits`` classified
+    rows — both must be live after a real search."""
+    ng = _graph("t5_large")
+    result = derive_plan(ng, paper_testbed(2, 8), engine="columnar")
+    assert result.evaluations > 0
+    assert result.cache_hits >= result.candidates_examined > 0
+    assert result.valid_plans > 0

@@ -7,6 +7,7 @@ from repro.cluster import Mesh, paper_testbed
 from repro.core import DEFAULT_REGISTRY, coarsen, derive_plan, route_plan
 from repro.graph import COMM_OP_TYPES, trim_auxiliary
 from repro.models import (
+    LARGE_PRESETS,
     MODEL_PRESETS,
     MoEConfig,
     TransformerConfig,
@@ -15,7 +16,10 @@ from repro.models import (
     build_t5,
 )
 
-SMALL_PRESETS = [n for n in MODEL_PRESETS if not n.startswith("m6")]
+SMALL_PRESETS = [
+    n for n in MODEL_PRESETS
+    if not n.startswith("m6") and n not in LARGE_PRESETS
+]
 
 
 @pytest.mark.parametrize("preset", SMALL_PRESETS)

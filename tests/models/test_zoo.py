@@ -4,6 +4,7 @@ import pytest
 
 from repro.graph import OpType, trim_auxiliary
 from repro.models import (
+    LARGE_PRESETS,
     MODEL_PRESETS,
     MoEConfig,
     ResNetConfig,
@@ -18,7 +19,10 @@ from repro.models import (
     t5_with_depth,
 )
 
-SMALL_PRESETS = [n for n in MODEL_PRESETS if not n.startswith("m6")]
+SMALL_PRESETS = [
+    n for n in MODEL_PRESETS
+    if not n.startswith("m6") and n not in LARGE_PRESETS
+]
 
 
 @pytest.mark.parametrize("name", SMALL_PRESETS)

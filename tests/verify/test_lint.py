@@ -152,6 +152,71 @@ class TestWallclock:
         assert not lint(src, "src/repro/core/planner.py")
 
 
+COLUMNAR = "src/repro/core/columnar.py"
+
+
+class TestColumnarScalarLoop:
+    def test_flags_for_loop_over_columnar_array(self):
+        src = """
+        def walk(optmat):
+            total = 0
+            for row in optmat:
+                total += row
+            return total
+        """
+        assert "lint/columnar-scalar-loop" in rules(lint(src, COLUMNAR))
+
+    def test_flags_range_len_and_enumerate(self):
+        src = """
+        def walk(optmat, replicate_cols):
+            for t in range(len(optmat)):
+                pass
+            for j, c in enumerate(replicate_cols):
+                pass
+        """
+        diags = [
+            d for d in lint(src, COLUMNAR)
+            if d.rule == "lint/columnar-scalar-loop"
+        ]
+        assert len(diags) == 2
+
+    def test_flags_comprehension(self):
+        src = """
+        def gather(wl_arr):
+            return [x * 2 for x in wl_arr]
+        """
+        assert "lint/columnar-scalar-loop" in rules(lint(src, COLUMNAR))
+
+    def test_scoped_to_columnar_modules_only(self):
+        src = """
+        def walk(optmat):
+            for row in optmat:
+                pass
+        """
+        assert not lint(src, "src/repro/core/evaluate.py")
+        assert "lint/columnar-scalar-loop" in rules(
+            lint(src, "src/repro/core/columnar_ext.py")
+        )
+
+    def test_pragma_suppresses(self):
+        src = """
+        def walk(optmat):
+            for row in optmat:  # repro-lint: ignore[columnar-scalar-loop]
+                pass
+        """
+        assert not lint(src, COLUMNAR)
+
+    def test_ordinary_iterables_are_fine(self):
+        src = """
+        def walk(groups, meta):
+            for names, options in groups:
+                pass
+            for digits, hint in meta:
+                pass
+        """
+        assert not lint(src, COLUMNAR)
+
+
 class TestHarness:
     def test_syntax_error_reported_not_raised(self):
         diags = lint_source("def broken(:\n", CORE)
