@@ -17,6 +17,7 @@ Exit status is non-zero if any benchmark fails.
 from __future__ import annotations
 
 import argparse
+import json
 import subprocess
 import sys
 import time
@@ -96,6 +97,12 @@ def main(argv=None) -> int:
             regress.split_by_suite(metrics), BENCH_DIR / "baselines"
         )
         print(f"baselines refreshed: {', '.join(str(p) for p in written)}")
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+            doc = json.loads(path.read_text())
+            meta = doc.get("meta", {}) if isinstance(doc, dict) else {}
+            print(f"  {path.name}: sha={meta.get('git_sha', '?')} "
+                  f"engine={meta.get('engine', '?')} "
+                  f"created={meta.get('created', '?')}")
     return 0
 
 

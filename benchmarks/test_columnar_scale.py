@@ -98,7 +98,7 @@ def test_columnar_scale_speedup(run_once):
               % REPEATS,
     )
     emit("columnar_scale", table)
-    emit_bench_json("columnar", [
+    emit_bench_json("columnar", engine="columnar", records=[
         {
             "model": f"{r['model']}@{tier}",
             "engine": tier,

@@ -135,7 +135,7 @@ def test_search_hotpath_tier_speedups(run_once):
                     r["wall"]["engine"] / r["wall"][tier]
                 )
             records.append(rec)
-    emit_bench_json("search", records)
+    emit_bench_json("search", records, engine="mixed")
 
     for r in rows:
         ref = r["results"]["reference"]

@@ -23,6 +23,13 @@ Commands
     ``bench compare`` diffs the ``BENCH_*.json`` files of a benchmark
     run against recorded baselines and exits non-zero when a metric
     regressed past its threshold — the CI benchmark gate.
+``serve``
+    Run the planner daemon: answers plan requests over HTTP from a
+    persistent fingerprinted cache, executing misses on a process-pool
+    worker fleet.  ``plan --remote URL`` sends a request to it.
+``cache``
+    ``cache stats`` lists the daemon's disk-cached plans (key, engine
+    tier, cost, search time); ``cache clear`` deletes them.
 
 ``plan`` and ``simulate`` run the plan verifier automatically (it is
 rule-based and cheap); ``--no-verify`` is the escape hatch.  ``plan
@@ -67,11 +74,26 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _parse_mesh(text: str, fabric: str) -> Mesh:
+def _jobs_arg(text: str) -> int:
+    """Worker counts: >= 1, or 0 meaning auto-detect ``os.cpu_count()``."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, or 0 for auto-detect, got {value}"
+        )
+    return value
+
+
+def _parse_mesh_shape(text: str) -> tuple:
     try:
         nodes, gpus = (int(x) for x in text.lower().split("x"))
     except ValueError:
         raise SystemExit(f"mesh must look like '2x8', got {text!r}")
+    return nodes, gpus
+
+
+def _parse_mesh(text: str, fabric: str) -> Mesh:
+    nodes, gpus = _parse_mesh_shape(text)
     if fabric == "paper":
         return paper_testbed(nodes, gpus)
     return Mesh(nodes, gpus)
@@ -123,7 +145,49 @@ def _print_verification(report, label: str) -> None:
         print(report.describe())
 
 
+def _run_remote_plan(args) -> int:
+    import json
+
+    from .core import envelope_from_json
+    from .service import PlannerClient, PlanRequest, ServiceError
+
+    nodes, gpus = _parse_mesh_shape(args.mesh)
+    request = PlanRequest(
+        model=args.model,
+        mesh_nodes=nodes,
+        mesh_gpus=gpus,
+        fabric=args.fabric,
+        batch_tokens=args.batch_tokens,
+        min_duplicate=args.min_duplicate,
+        engine="reference" if args.no_engine else args.engine,
+        jobs=args.jobs,
+    )
+    client = PlannerClient(args.remote)
+    try:
+        reply = client.plan(request)
+    except ServiceError as exc:
+        raise SystemExit(f"remote plan failed: {exc}")
+    print(f"model: {args.model}   mesh: {args.mesh} ({args.fabric})   "
+          f"remote: {client.base_url}")
+    print(f"key: {reply['key']}")
+    print(f"source: {reply['source']} "
+          f"({'cache hit' if reply['cached'] else 'fresh search'})")
+    timings = reply.get("timings") or {}
+    if "search_seconds" in timings:
+        print(f"search time (when derived): {timings['search_seconds']:.2f}s "
+              f"[{reply.get('engine', '?')} tier]")
+    print(f"cost: {reply['cost'] * 1e3:.2f} ms (communication objective)")
+    print(f"round trip: {reply['latency_seconds'] * 1e3:.2f} ms service-side")
+    if args.output:
+        env = envelope_from_json(json.dumps(reply["envelope"]), verify=False)
+        save_plan(env.routed.plan, args.output)
+        print(f"plan saved to {args.output}")
+    return 0
+
+
 def cmd_plan(args) -> int:
+    if args.remote:
+        return _run_remote_plan(args)
     _, trimmed, trim_record, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
     cfg = CostConfig(batch_tokens=args.batch_tokens)
@@ -281,6 +345,72 @@ def cmd_verify_lint(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import default_cache_dir, serve
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    server = serve(
+        args.host,
+        args.port,
+        cache_dir=cache_dir,
+        workers=None if args.inline else args.workers,
+        lru_capacity=args.lru_capacity,
+        queue_limit=args.queue_limit,
+        preload=not args.no_preload,
+    )
+    host, port = server.address
+    stats = server.service.stats()
+    mode = "inline" if args.inline else f"{stats['workers']} worker process(es)"
+    print(f"planner service on http://{host}:{port}")
+    print(f"cache: {cache_dir} ({stats['preloaded']} plans preloaded; {mode})")
+    print("endpoints: POST /plan  GET /stats  GET /health  POST /shutdown")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+        print("\nplanner service stopped")
+    return 0
+
+
+def _open_cache(args):
+    from .service import PlanCache, default_cache_dir
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    return cache_dir, PlanCache(cache_dir)
+
+
+def cmd_cache_stats(args) -> int:
+    cache_dir, cache = _open_cache(args)
+    rows = []
+    for key, _path in cache.disk_entries():
+        env, _ = cache.get(key)  # structural load; corrupt blobs quarantine
+        if env is None:
+            continue
+        rows.append([
+            key,
+            env.engine or "?",
+            f"{env.cost * 1e3:.2f}",
+            f"{env.timings.get('search_seconds', 0.0):.2f}",
+            env.created or "?",
+        ])
+    print(format_table(
+        ["key", "engine", "cost (ms)", "search (s)", "created"],
+        rows,
+        title=f"plan cache at {cache_dir}",
+    ))
+    quarantined = cache.quarantined_entries()
+    print(f"{len(rows)} valid entr{'y' if len(rows) == 1 else 'ies'}, "
+          f"{len(quarantined)} quarantined")
+    return 0
+
+
+def cmd_cache_clear(args) -> int:
+    cache_dir, cache = _open_cache(args)
+    removed = cache.clear()
+    print(f"removed {removed} cached plan(s) from {cache_dir}")
+    return 0
+
+
 def cmd_bench_compare(args) -> int:
     from .obs import regress
 
@@ -323,8 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
     p.add_argument("--batch-tokens", type=int, default=16 * 512)
     p.add_argument("--min-duplicate", type=int, default=2)
-    p.add_argument("--jobs", type=_positive_int, default=1,
-                   help="threads for independent family x TP-degree searches")
+    p.add_argument("--jobs", type=_jobs_arg, default=1,
+                   help="threads for independent family x TP-degree "
+                        "searches (0 = auto-detect cpu count)")
     p.add_argument("--engine", choices=("engine", "reference", "columnar"),
                    default="engine",
                    help="evaluation tier: the memoized engine (default), "
@@ -339,6 +470,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="FILE",
                    help="record the pipeline as a Chrome trace (merged "
                         "with the simulated iteration; open in Perfetto)")
+    p.add_argument("--remote", metavar="URL",
+                   help="send the request to a running planner daemon "
+                        "(see 'repro serve') instead of searching locally")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("simulate", help="price a named or saved plan")
@@ -375,6 +509,35 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("paths", nargs="*",
                    help="files or directories (default: the repro package)")
     v.set_defaults(func=cmd_verify_lint)
+
+    p = sub.add_parser("serve", help="run the planner service daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8090,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--cache-dir", default=None,
+                   help="plan cache directory (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro/plans)")
+    p.add_argument("--workers", type=_jobs_arg, default=0,
+                   help="search worker processes (0 = auto-detect)")
+    p.add_argument("--inline", action="store_true",
+                   help="execute searches in-process (no worker pool)")
+    p.add_argument("--lru-capacity", type=_positive_int, default=128,
+                   help="in-memory LRU size (plans)")
+    p.add_argument("--queue-limit", type=_positive_int, default=32,
+                   help="max distinct searches in flight before "
+                        "fast-failing with 429")
+    p.add_argument("--no-preload", action="store_true",
+                   help="skip warm-restarting the LRU from the disk cache")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache", help="plan cache utilities")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    c = csub.add_parser("stats", help="list the cached plans")
+    c.add_argument("--cache-dir", default=None)
+    c.set_defaults(func=cmd_cache_stats)
+    c = csub.add_parser("clear", help="delete every cached plan")
+    c.add_argument("--cache-dir", default=None)
+    c.set_defaults(func=cmd_cache_clear)
 
     p = sub.add_parser("bench", help="benchmark utilities")
     bsub = p.add_subparsers(dest="bench_command", required=True)

@@ -29,7 +29,7 @@ from .planner import SearchResult, derive_plan
 from .rewrite import RewriteResult, rewrite_graph
 from .routing import route_plan
 
-__all__ = ["split", "auto_parallel", "ParallelizedModel"]
+__all__ = ["split", "plan_request", "auto_parallel", "ParallelizedModel"]
 
 
 def split(mesh_shape: Sequence[int] | Mesh) -> Mesh:
@@ -98,6 +98,55 @@ class ParallelizedModel:
         return "\n".join(lines)
 
 
+def plan_request(
+    model: Graph | NodeGraph,
+    mesh: Mesh | Sequence[int],
+    cost_config: Optional[CostConfig] = None,
+    *,
+    batch_tokens: int = 16 * 512,
+    packing: Optional[PackingConfig] = None,
+    min_duplicate: int = 2,
+    tp_degrees: Optional[Sequence[int]] = None,
+    use_pruning: bool = True,
+    max_plans_per_block: int = 50_000,
+    engine=True,
+    jobs: int = 1,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+) -> SearchResult:
+    """Answer one planning request: normalise inputs, run the search.
+
+    The single entry point both :func:`auto_parallel` and the planner
+    service (:mod:`repro.service`) call, so a request is handled
+    identically whether it arrives from the library API, the CLI, or a
+    service worker process.  *model* may be an op-level :class:`Graph`
+    (trimmed and coarsened here) or an already-coarsened
+    :class:`NodeGraph`; *mesh* may be a shape list or a :class:`Mesh`.
+    Returns the :class:`SearchResult` — the winner's :class:`RoutedPlan`
+    materialises lazily on ``.routed`` access.
+    """
+    mesh = split(mesh)
+    cost_config = cost_config or CostConfig(
+        batch_tokens=batch_tokens, packing=packing or PackingConfig()
+    )
+    if isinstance(model, NodeGraph):
+        node_graph = model
+    else:
+        trimmed, _ = trim_auxiliary(model)
+        node_graph = coarsen(trimmed)
+    return derive_plan(
+        node_graph,
+        mesh,
+        registry=registry,
+        cost_config=cost_config,
+        min_duplicate=min_duplicate,
+        tp_degrees=tp_degrees,
+        max_plans_per_block=max_plans_per_block,
+        use_pruning=use_pruning,
+        engine=engine,
+        jobs=jobs,
+    )
+
+
 def auto_parallel(
     model: Graph,
     mesh: Mesh | Sequence[int],
@@ -130,11 +179,11 @@ def auto_parallel(
     )
     trimmed, record = trim_auxiliary(model)
     node_graph = coarsen(trimmed)
-    search = derive_plan(
+    search = plan_request(
         node_graph,
         mesh,
+        cost_config,
         registry=registry,
-        cost_config=cost_config,
         min_duplicate=min_duplicate,
         tp_degrees=tp_degrees,
         use_pruning=use_pruning,

@@ -27,6 +27,7 @@ are evaluated per degree and the best assembled plan across degrees wins.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -184,12 +185,17 @@ def derive_plan(
     incremental evaluator, ``"columnar"`` the array-batched core;
     ``use_bound=False`` keeps the chosen tier but disables
     branch-and-bound.  ``jobs`` > 1 searches independent
-    (family × TP degree) blocks on a thread pool — the selected plan and
-    cost are identical for every setting of these knobs.
+    (family × TP degree) blocks on a thread pool; ``jobs=0`` auto-detects
+    ``os.cpu_count()`` (the convention every parallel knob in this
+    library follows) — the selected plan and cost are identical for
+    every setting of these knobs, because the reduction runs in a fixed
+    order with strict first-wins tie-breaking.
     """
     start = time.perf_counter()
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     if jobs < 1:
-        raise ValueError("jobs must be >= 1")
+        raise ValueError("jobs must be >= 1 (or 0 to auto-detect cpu_count)")
     tier = normalize_engine(engine)
     cost_model = CostModel(mesh, cost_config)
     prune = prune_graph(node_graph, min_duplicate=min_duplicate if use_pruning else 0)

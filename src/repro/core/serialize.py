@@ -32,18 +32,28 @@ from .plan import CommEvent, NodeShard, RoutedPlan, ShardingPlan
 
 __all__ = [
     "SCHEMA_VERSION",
+    "CACHE_ENVELOPE_VERSION",
     "PlanLoadError",
+    "CacheEnvelope",
     "plan_to_json",
     "plan_from_json",
     "save_plan",
     "load_plan",
     "routed_to_json",
     "routed_from_json",
+    "routed_from_doc",
     "save_routed",
     "load_routed",
+    "envelope_to_json",
+    "envelope_from_json",
 ]
 
 SCHEMA_VERSION = 1
+
+#: Version of the plan-cache envelope wrapping a routed-plan document.
+#: Bump when the envelope layout changes; the disk cache treats entries
+#: with a different version as misses (quarantined, never replayed).
+CACHE_ENVELOPE_VERSION = 1
 
 
 def _cache_field_names(cls) -> FrozenSet[str]:
@@ -249,6 +259,14 @@ def routed_from_json(
         doc = json.loads(text)
     except json.JSONDecodeError as exc:
         raise PlanLoadError(f"not valid JSON: {exc}") from exc
+    return routed_from_doc(doc, node_graph, verify=verify)
+
+
+def routed_from_doc(
+    doc, node_graph: Optional[NodeGraph] = None, verify: bool = True
+) -> RoutedPlan:
+    """Parse an already-decoded routed-plan document (see
+    :func:`routed_from_json`; the cache envelope embeds one)."""
     if not isinstance(doc, dict) or doc.get("kind") != "repro.routed_plan":
         raise PlanLoadError("document is not a serialised routed plan")
     if doc.get("schema") != SCHEMA_VERSION:
@@ -325,3 +343,132 @@ def load_routed(
     """Read a routed plan from *path*, optionally verifying against a graph."""
     with open(path) as fh:
         return routed_from_json(fh.read(), node_graph, verify=verify)
+
+
+# ---------------------------------------------------------------------------
+# plan-cache envelopes
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CacheEnvelope:
+    """One persistent plan-cache entry: a routed plan plus provenance.
+
+    The envelope is what the planner service writes to its disk store:
+    the versioned cache key, the full (untruncated) fingerprints it was
+    derived from, the evaluation tier that produced it, the search
+    timings, the plan's cost, and the routed-plan document itself.  The
+    metadata lets ``repro cache stats`` explain an entry, lets loads
+    cross-check the key against the fingerprints, and keeps cold-search
+    timings reconstructable after the fact; none of it affects pricing —
+    the payload round-trips through :func:`routed_to_json` untouched.
+    """
+
+    key: str
+    fingerprints: Dict[str, str]
+    engine: str
+    timings: Dict[str, float]
+    cost: float
+    created: str                 # ISO-8601 UTC, stamped by the *caller*
+    routed: RoutedPlan
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Re-serialise this envelope (inverse of :func:`envelope_from_json`)."""
+        return envelope_to_json(
+            self.routed,
+            key=self.key,
+            fingerprints=self.fingerprints,
+            engine=self.engine,
+            timings=self.timings,
+            cost=self.cost,
+            created=self.created,
+            indent=indent,
+        )
+
+
+def envelope_to_json(
+    routed: RoutedPlan,
+    *,
+    key: str,
+    fingerprints: Dict[str, str],
+    engine: str,
+    timings: Dict[str, float],
+    cost: float,
+    created: str = "",
+    indent: Optional[int] = None,
+) -> str:
+    """Wrap a routed plan in a versioned cache envelope."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "envelope": CACHE_ENVELOPE_VERSION,
+        "kind": "repro.plan_cache_entry",
+        "key": key,
+        "fingerprints": dict(fingerprints),
+        "engine": engine,
+        "timings": dict(timings),
+        "cost": cost,
+        "created": created,
+        "payload": json.loads(routed_to_json(routed, indent=None)),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def envelope_from_json(
+    text: str,
+    node_graph: Optional[NodeGraph] = None,
+    verify: bool = True,
+    expected_key: Optional[str] = None,
+) -> CacheEnvelope:
+    """Parse a cache envelope; raises :class:`PlanLoadError` when corrupt.
+
+    ``expected_key`` guards against a blob filed under the wrong name
+    (a renamed file, a hash-schema mismatch): an envelope claiming a
+    different key is rejected rather than silently served.  With a graph
+    and ``verify=True`` the embedded routed plan is re-verified by the
+    static verifier before it is trusted.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "repro.plan_cache_entry":
+        raise PlanLoadError("document is not a plan-cache envelope")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise PlanLoadError(
+            f"unsupported schema version {doc.get('schema')!r} "
+            f"(this library reads version {SCHEMA_VERSION})"
+        )
+    if doc.get("envelope") != CACHE_ENVELOPE_VERSION:
+        raise PlanLoadError(
+            f"unsupported envelope version {doc.get('envelope')!r} "
+            f"(this library reads version {CACHE_ENVELOPE_VERSION})"
+        )
+    key = doc.get("key")
+    if not isinstance(key, str) or not key:
+        raise PlanLoadError("envelope carries no cache key")
+    if expected_key is not None and key != expected_key:
+        raise PlanLoadError(
+            f"envelope key {key!r} does not match its slot {expected_key!r}"
+        )
+    fingerprints = doc.get("fingerprints")
+    if not isinstance(fingerprints, dict) or not all(
+        isinstance(k, str) and isinstance(v, str)
+        for k, v in fingerprints.items()
+    ):
+        raise PlanLoadError("envelope fingerprints must map names to digests")
+    timings = doc.get("timings")
+    if not isinstance(timings, dict):
+        raise PlanLoadError("envelope timings must be a mapping")
+    try:
+        cost = float(doc["cost"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanLoadError(f"envelope cost is invalid: {exc}") from exc
+    routed = routed_from_doc(doc.get("payload"), node_graph, verify=verify)
+    return CacheEnvelope(
+        key=key,
+        fingerprints={k: str(v) for k, v in sorted(fingerprints.items())},
+        engine=str(doc.get("engine", "")),
+        timings={k: float(v) for k, v in sorted(timings.items())},
+        cost=cost,
+        created=str(doc.get("created", "")),
+        routed=routed,
+    )

@@ -40,6 +40,7 @@ from ..viz.tables import format_table
 __all__ = [
     "DEFAULT_THRESHOLD",
     "CompareResult",
+    "bench_records",
     "normalize_bench",
     "load_bench_files",
     "load_baselines",
@@ -74,10 +75,34 @@ def direction_for(metric: str) -> str:
     return "both"
 
 
-def normalize_bench(suite: str, records: Sequence[Dict]) -> Dict[str, float]:
-    """Flatten one ``BENCH_<suite>.json`` record list into metric keys."""
+def bench_records(doc) -> Sequence[Dict]:
+    """The record list of a ``BENCH_*.json`` document.
+
+    Accepts both shapes: the legacy bare list, and the stamped
+    ``{"meta": {...}, "records": [...]}`` wrapper — the meta block
+    (git SHA, engine tier, timestamp) is provenance, not metrics, so it
+    never reaches the gate.
+    """
+    if isinstance(doc, dict):
+        records = doc.get("records")
+        if not isinstance(records, list):
+            raise ValueError(
+                "bench wrapper must carry a 'records' list, got "
+                f"{type(records).__name__}"
+            )
+        return records
+    if isinstance(doc, list):
+        return doc
+    raise ValueError(
+        "bench document must be a record list or a {meta, records} "
+        f"wrapper, got {type(doc).__name__}"
+    )
+
+
+def normalize_bench(suite: str, records) -> Dict[str, float]:
+    """Flatten one ``BENCH_<suite>.json`` document into metric keys."""
     metrics: Dict[str, float] = {}
-    for rec in records:
+    for rec in bench_records(records):
         model = rec.get("model", "all")
         fields = {
             k: v

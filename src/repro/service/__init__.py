@@ -1,0 +1,56 @@
+"""Planner-as-a-service: persistent plan cache + worker fleet.
+
+A TAP search is seconds of CPU; a cached plan is microseconds.  This
+package turns the planner into a long-lived daemon that answers
+plan/simulate requests keyed by canonical **graph × mesh × config**
+fingerprints (:mod:`repro.core.fingerprint`):
+
+* :mod:`repro.service.requests` — the picklable wire request and its
+  fingerprint/key derivation.
+* :mod:`repro.service.cache` — the two-tier store: in-process LRU over
+  deserialised plans, atomic on-disk envelopes, quarantine for corrupt
+  blobs.
+* :mod:`repro.service.workers` — the process-pool fleet that executes
+  misses (with a worker-side fingerprint cross-check).
+* :mod:`repro.service.planner` — the orchestration: cache-first
+  lookup, in-flight coalescing, bounded admission, p50/p99 stats.
+* :mod:`repro.service.server` — the stdlib HTTP surface
+  (``repro serve``) and the urllib client (``repro plan --remote``).
+"""
+
+from .cache import CacheStats, PlanCache, QUARANTINE_DIR, default_cache_dir
+from .planner import (
+    PlannerService,
+    PlanResponse,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .requests import (
+    PlanRequest,
+    build_request_graph,
+    request_fingerprints,
+    request_key,
+)
+from .server import PlannerClient, PlannerServer, serve
+from .workers import WorkerFleet, execute_request, resolve_workers
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "QUARANTINE_DIR",
+    "default_cache_dir",
+    "PlannerService",
+    "PlanResponse",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "PlanRequest",
+    "build_request_graph",
+    "request_fingerprints",
+    "request_key",
+    "PlannerClient",
+    "PlannerServer",
+    "serve",
+    "WorkerFleet",
+    "execute_request",
+    "resolve_workers",
+]

@@ -1,0 +1,303 @@
+"""The planner service: cache-first request orchestration.
+
+Request lifecycle::
+
+    plan(request)
+      └─ key = fingerprints(graph × mesh × config)      (graph memoised)
+         ├─ cache.get(key)       → memory / disk hit    (micro/milliseconds)
+         └─ miss:
+             ├─ another thread already searching key?   → coalesce: wait on it
+             ├─ too many distinct keys in flight?       → ServiceOverloadedError
+             └─ otherwise own the search                → worker fleet (or inline)
+                  └─ cache.put(key, envelope)           → wake all waiters
+
+Coalescing guarantees N concurrent requests for one key run exactly one
+search — the owner publishes its envelope through the in-flight record
+and every waiter reuses it.  Admission control bounds the *distinct*
+keys in flight (waiters ride for free: they consume a thread, not a
+search slot), so an overloaded service fails fast with a retryable
+error instead of building an unbounded queue.
+
+Everything is observable: per-request spans (``service.request``),
+hit/miss/coalesce/overload counters and a queue-depth gauge flow
+through :mod:`repro.obs`, and the service keeps its own latency
+reservoir for p50/p99 in ``stats()`` even when tracing is disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..core import CacheEnvelope, NodeGraph, RoutedPlan, graph_fingerprint
+from .cache import PlanCache
+from .requests import PlanRequest, build_request_graph, request_key
+from .workers import WorkerFleet, execute_request
+
+__all__ = [
+    "PlanResponse",
+    "PlannerService",
+    "ServiceError",
+    "ServiceOverloadedError",
+]
+
+
+class ServiceError(RuntimeError):
+    """A request the planner service could not satisfy."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected the request; safe to retry later."""
+
+    def __init__(self, inflight: int, limit: int) -> None:
+        super().__init__(
+            f"planner service overloaded: {inflight} searches in flight "
+            f"(limit {limit}); retry later"
+        )
+        self.inflight = inflight
+        self.limit = limit
+
+
+@dataclass
+class PlanResponse:
+    """What ``plan()`` hands back, whatever path the request took."""
+
+    key: str
+    source: str  # "memory" | "disk" | "search" | "coalesced"
+    envelope: CacheEnvelope
+    latency_seconds: float
+    label: str
+
+    @property
+    def routed(self) -> RoutedPlan:
+        return self.envelope.routed
+
+    @property
+    def cost(self) -> float:
+        return self.envelope.cost
+
+    @property
+    def cached(self) -> bool:
+        return self.source in ("memory", "disk")
+
+
+class _Inflight:
+    """One in-progress search; waiters block on the event."""
+
+    __slots__ = ("event", "envelope", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.envelope: Optional[CacheEnvelope] = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
+
+
+def _quantile(sample: List[float], q: float) -> float:
+    """Nearest-rank quantile; 0.0 on an empty sample."""
+    if not sample:
+        return 0.0
+    ordered = sorted(sample)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+class PlannerService:
+    """Long-lived planner answering requests cache-first.
+
+    ``workers=None`` executes misses inline on the calling thread (no
+    subprocesses — the embedded/test mode); ``workers=N`` runs them on a
+    fleet of N processes; ``workers=0`` auto-sizes the fleet to the
+    machine.  ``preload=True`` warm-restarts the LRU from whatever the
+    disk store already holds.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        *,
+        workers: Optional[int] = None,
+        lru_capacity: int = 128,
+        queue_limit: int = 32,
+        verify_loads: bool = True,
+        preload: bool = False,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.cache = PlanCache(
+            cache_dir, capacity=lru_capacity, verify_loads=verify_loads
+        )
+        self._fleet = WorkerFleet(workers) if workers is not None else None
+        self._queue_limit = queue_limit
+        self._inflight: Dict[str, _Inflight] = {}
+        self._lock = threading.Lock()
+        self._graphs: Dict[str, Tuple[NodeGraph, str]] = {}
+        self._graphs_lock = threading.Lock()
+        self._latencies: Deque[float] = deque(maxlen=4096)
+        self._counters: Dict[str, int] = {
+            "requests": 0,
+            "searches": 0,
+            "coalesced": 0,
+            "overloaded": 0,
+            "errors": 0,
+        }
+        self._closed = False
+        self._preloaded = self.cache.preload() if preload else 0
+
+    # -- identity ----------------------------------------------------------
+
+    def _request_identity(self, request: PlanRequest) -> Tuple[NodeGraph, str]:
+        """Per-preset memo of (graph, graph digest) + the request's key.
+
+        Building and hashing the graph dominates key cost (milliseconds
+        for big presets); both are pure functions of the preset name, so
+        a warm hit pays only the two small mesh/config hashes.
+        """
+        with self._graphs_lock:
+            hit = self._graphs.get(request.model)
+        if hit is None:
+            node_graph = build_request_graph(request)
+            hit = (node_graph, graph_fingerprint(node_graph))
+            with self._graphs_lock:
+                hit = self._graphs.setdefault(request.model, hit)
+        node_graph, graph_fp = hit
+        key, _ = request_key(request, graph_fp=graph_fp)
+        return node_graph, key
+
+    def request_key(self, request: PlanRequest) -> str:
+        return self._request_identity(request)[1]
+
+    # -- the request path --------------------------------------------------
+
+    def plan(
+        self, request: PlanRequest, timeout: Optional[float] = None
+    ) -> PlanResponse:
+        if self._closed:
+            raise ServiceError("planner service is closed")
+        start = time.perf_counter()
+        node_graph, key = self._request_identity(request)
+        with self._lock:
+            self._counters["requests"] += 1
+        with obs.trace.span("service.request", key=key, model=request.model):
+            env, tier = self.cache.get(key, node_graph)
+            if env is not None:
+                obs.metrics.counter(f"service.hit_{tier}")
+                return self._respond(key, tier, env, request, start)
+            source, env = self._search_or_wait(key, request, timeout)
+            return self._respond(key, source, env, request, start)
+
+    def _search_or_wait(
+        self, key: str, request: PlanRequest, timeout: Optional[float]
+    ) -> Tuple[str, CacheEnvelope]:
+        with self._lock:
+            inflight = self._inflight.get(key)
+            owner = inflight is None
+            if owner:
+                if len(self._inflight) >= self._queue_limit:
+                    self._counters["overloaded"] += 1
+                    obs.metrics.counter("service.overloaded")
+                    raise ServiceOverloadedError(
+                        len(self._inflight), self._queue_limit
+                    )
+                inflight = _Inflight()
+                self._inflight[key] = inflight
+            else:
+                inflight.waiters += 1
+                self._counters["coalesced"] += 1
+                obs.metrics.counter("service.coalesced")
+            obs.metrics.gauge("service.queue_depth", len(self._inflight))
+        if owner:
+            self._run_search(key, request, inflight)
+        elif not inflight.event.wait(timeout):
+            raise TimeoutError(
+                f"timed out after {timeout}s waiting on in-flight search {key}"
+            )
+        if inflight.error is not None:
+            raise ServiceError(
+                f"search for {key} failed: {inflight.error}"
+            ) from inflight.error
+        assert inflight.envelope is not None
+        return ("search" if owner else "coalesced"), inflight.envelope
+
+    def _run_search(
+        self, key: str, request: PlanRequest, inflight: _Inflight
+    ) -> None:
+        doc = request.to_doc()
+        doc["expected_key"] = key
+        try:
+            with obs.trace.span("service.search", key=key, model=request.model):
+                if self._fleet is None:
+                    result = execute_request(doc)
+                else:
+                    result = self._fleet.submit(doc).result()
+            inflight.envelope = self.cache.put(key, result["envelope"])
+            with self._lock:
+                self._counters["searches"] += 1
+            obs.metrics.counter("service.miss")
+        except BaseException as exc:
+            inflight.error = exc
+            with self._lock:
+                self._counters["errors"] += 1
+            obs.metrics.counter("service.error")
+            raise ServiceError(f"search for {key} failed: {exc}") from exc
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                obs.metrics.gauge("service.queue_depth", len(self._inflight))
+            inflight.event.set()
+
+    def _respond(
+        self,
+        key: str,
+        source: str,
+        env: CacheEnvelope,
+        request: PlanRequest,
+        start: float,
+    ) -> PlanResponse:
+        latency = time.perf_counter() - start
+        with self._lock:
+            self._latencies.append(latency)
+        obs.metrics.gauge("service.request_latency_s", latency, source=source)
+        return PlanResponse(
+            key=key,
+            source=source,
+            envelope=env,
+            latency_seconds=latency,
+            label=request.label(),
+        )
+
+    # -- lifecycle / introspection ----------------------------------------
+
+    def stats(self) -> Dict:
+        with self._lock:
+            counters = dict(self._counters)
+            sample = list(self._latencies)
+            inflight = len(self._inflight)
+        return {
+            "counters": counters,
+            "cache": self.cache.stats_dict(),
+            "latency": {
+                "count": len(sample),
+                "p50_s": round(_quantile(sample, 0.50), 6),
+                "p99_s": round(_quantile(sample, 0.99), 6),
+            },
+            "queue": {"inflight": inflight, "limit": self._queue_limit},
+            "workers": self._fleet.workers if self._fleet is not None else 0,
+            "preloaded": self._preloaded,
+        }
+
+    def close(self, wait: bool = True) -> None:
+        """Graceful shutdown: stop the fleet; the disk cache persists."""
+        self._closed = True
+        if self._fleet is not None:
+            self._fleet.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlannerService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -17,13 +17,14 @@ CLI as ``repro verify plan`` / ``repro verify lint``.
 """
 
 from .diagnostics import Diagnostic, VerificationReport, PlanVerificationError
-from .plan_checks import verify_plan, verify_routed, verify_rewrite
+from .plan_checks import verify_envelope, verify_plan, verify_routed, verify_rewrite
 from .lint import LINT_RULES, lint_paths, lint_source
 
 __all__ = [
     "Diagnostic",
     "VerificationReport",
     "PlanVerificationError",
+    "verify_envelope",
     "verify_plan",
     "verify_routed",
     "verify_rewrite",

@@ -1,0 +1,116 @@
+"""Cache envelopes: serialisation round trip, corruption detection."""
+
+import json
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import (
+    CACHE_ENVELOPE_VERSION,
+    CostConfig,
+    PlanLoadError,
+    coarsen,
+    envelope_from_json,
+    envelope_to_json,
+    plan_cache_key,
+    plan_request,
+    routed_to_json,
+)
+from repro.graph import trim_auxiliary
+from repro.models import build_preset
+from repro.verify import verify_envelope
+
+FPS = {"graph": "a" * 64, "mesh": "b" * 64, "config": "c" * 64}
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    trimmed, _ = trim_auxiliary(build_preset("clip_base"))
+    ng = coarsen(trimmed)
+    mesh = paper_testbed(2, 8)
+    cfg = CostConfig(batch_tokens=8192)
+    key = plan_cache_key(ng, mesh, cfg)
+    search = plan_request(ng, mesh, cfg)
+    text = envelope_to_json(
+        search.routed,
+        key=key,
+        fingerprints=FPS,
+        engine="engine",
+        timings={"search_seconds": search.search_seconds, "wall_seconds": 0.5},
+        cost=search.cost,
+        created="2026-08-08T00:00:00+00:00",
+    )
+    return key, text, ng, search
+
+
+def test_roundtrip_is_bit_identical(envelope):
+    key, text, ng, search = envelope
+    env = envelope_from_json(text, ng, expected_key=key)
+    assert env.key == key
+    assert env.engine == "engine"
+    assert env.cost == search.cost
+    assert env.fingerprints == FPS
+    assert env.timings["wall_seconds"] == 0.5
+    # the payload round-trips the routed plan byte for byte
+    assert routed_to_json(env.routed) == routed_to_json(search.routed)
+    assert env.to_json() == text
+
+
+def test_verify_on_load_catches_tampered_payload(envelope):
+    key, text, ng, _ = envelope
+    doc = json.loads(text)
+    shard = next(iter(doc["payload"]["shards"].values()))
+    # forge a layout that independent propagation cannot produce
+    shard["output_layout"] = "forged_layout"
+    with pytest.raises(PlanLoadError, match="static verification"):
+        envelope_from_json(json.dumps(doc), ng, expected_key=key)
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda d: d.update(kind="something_else"), "not a plan-cache envelope"),
+    (lambda d: d.update(envelope=CACHE_ENVELOPE_VERSION + 1),
+     "envelope version"),
+    (lambda d: d.update(key=""), "no cache key"),
+    (lambda d: d.update(fingerprints=[1, 2]), "fingerprints"),
+    (lambda d: d.update(timings="fast"), "timings"),
+    (lambda d: d.update(cost="cheap"), "cost"),
+    (lambda d: d.update(payload=None), None),
+])
+def test_malformed_envelopes_raise_plan_load_error(envelope, mutate, message):
+    _, text, _, _ = envelope
+    doc = json.loads(text)
+    mutate(doc)
+    with pytest.raises(PlanLoadError) as err:
+        envelope_from_json(json.dumps(doc), verify=False)
+    if message:
+        assert message in str(err.value)
+
+
+def test_truncated_json_raises(envelope):
+    _, text, _, _ = envelope
+    with pytest.raises(PlanLoadError, match="not valid JSON"):
+        envelope_from_json(text[: len(text) // 2])
+
+
+def test_key_slot_mismatch_rejected(envelope):
+    key, text, _, _ = envelope
+    with pytest.raises(PlanLoadError, match="does not match its slot"):
+        envelope_from_json(text, expected_key=key[:-4] + "beef")
+
+
+def test_verify_envelope_reports(envelope):
+    key, text, _, _ = envelope
+    report = verify_envelope(json.loads(text), expected_key=key)
+    assert report.ok, report.describe()
+
+    doc = json.loads(text)
+    doc["fingerprints"]["mesh"] = "zz"  # not 64 hex chars
+    report = verify_envelope(doc)
+    assert not report.ok
+    assert any(d.rule == "cache/fingerprint" for d in report.errors)
+
+    doc = json.loads(text)
+    del doc["payload"]
+    assert not verify_envelope(doc).ok
+
+    assert not verify_envelope([], expected_key=key).ok

@@ -1,0 +1,58 @@
+"""``derive_plan(jobs=...)``: the auto-detect convention and determinism.
+
+``jobs`` only changes *how many threads* evaluate the independent
+family × TP-degree searches; the reduction over their results is
+fixed-order with first-wins tie-breaking, so the selected plan, its
+cost and the candidate count must be identical for any worker count.
+``jobs=0`` is the auto-detect convention: use ``os.cpu_count()``.
+"""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import CostConfig, coarsen, derive_plan, routed_to_json
+from repro.graph import trim_auxiliary
+from repro.models import build_preset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    trimmed, _ = trim_auxiliary(build_preset("clip_base"))
+    return coarsen(trimmed), paper_testbed(2, 8), CostConfig(batch_tokens=8192)
+
+
+def test_jobs_count_does_not_change_the_result(setup):
+    ng, mesh, cfg = setup
+    results = {
+        jobs: derive_plan(ng, mesh, cost_config=cfg, jobs=jobs)
+        for jobs in (1, 2, 4, 0)  # 0 = auto-detect
+    }
+    baseline = results[1]
+    for jobs, res in results.items():
+        assert res.plan.as_dict == baseline.plan.as_dict, jobs
+        assert res.cost == baseline.cost, jobs
+        assert res.candidates_examined == baseline.candidates_examined, jobs
+        assert routed_to_json(res.routed) == routed_to_json(baseline.routed)
+
+
+def test_jobs_zero_uses_cpu_count(setup):
+    ng, mesh, cfg = setup
+    with mock.patch.object(os, "cpu_count", return_value=3) as probe:
+        derive_plan(ng, mesh, cost_config=cfg, jobs=0)
+    assert probe.called
+
+
+def test_jobs_zero_survives_unknown_cpu_count(setup):
+    ng, mesh, cfg = setup
+    with mock.patch.object(os, "cpu_count", return_value=None):
+        res = derive_plan(ng, mesh, cost_config=cfg, jobs=0)
+    assert res.plan is not None
+
+
+def test_negative_jobs_rejected(setup):
+    ng, mesh, cfg = setup
+    with pytest.raises(ValueError, match="jobs"):
+        derive_plan(ng, mesh, cost_config=cfg, jobs=-1)

@@ -37,6 +37,44 @@ class TestNormalize:
             "sim/t5/speedup": 5.0,
         }
 
+    def test_bench_records_accepts_bare_list(self):
+        records = [{"model": "t5", "speedup": 20.0}]
+        assert regress.bench_records(records) == records
+
+    def test_bench_records_unwraps_meta_wrapper(self):
+        records = [{"model": "t5", "speedup": 20.0}]
+        doc = {"meta": {"git_sha": "abc1234", "engine": "engine",
+                        "created": "2026-08-08T00:00:00+00:00"},
+               "records": records}
+        assert regress.bench_records(doc) == records
+
+    @pytest.mark.parametrize("doc", [
+        {"records": "not a list"},
+        {"meta": {}},
+        "just a string",
+        42,
+    ])
+    def test_bench_records_rejects_other_shapes(self, doc):
+        with pytest.raises(ValueError, match="records"):
+            regress.bench_records(doc)
+
+    def test_load_bench_files_mixes_both_formats(self, tmp_path):
+        (tmp_path / "BENCH_search.json").write_text(
+            json.dumps([{"model": "t5", "speedup": 20.0}])
+        )
+        (tmp_path / "BENCH_service.json").write_text(
+            json.dumps({
+                "meta": {"git_sha": "abc1234", "engine": "engine",
+                         "created": "2026-08-08T00:00:00+00:00"},
+                "records": [{"model": "clip", "warm_speedup": 100.0}],
+            })
+        )
+        metrics = regress.load_bench_files(tmp_path)
+        assert metrics == {
+            "search/t5/speedup": 20.0,
+            "service/clip/warm_speedup": 100.0,
+        }
+
 
 class TestDirections:
     @pytest.mark.parametrize("metric,expected", [
