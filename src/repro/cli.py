@@ -332,17 +332,53 @@ def cmd_verify_plan(args) -> int:
 
 
 def cmd_verify_lint(args) -> int:
-    from .verify import lint_paths
+    from .verify import format_diagnostics, lint_paths
 
     paths = args.paths or [str(Path(__file__).parent)]
     diagnostics = lint_paths(paths)
-    for d in diagnostics:
-        print(d.format())
+    for line in format_diagnostics(diagnostics, args.format):
+        print(line)
     if diagnostics:
-        print(f"{len(diagnostics)} lint finding(s)")
+        if args.format == "text":
+            print(f"{len(diagnostics)} lint finding(s)")
         return 1
-    print("lint: clean")
+    if args.format == "text":
+        print("lint: clean")
     return 0
+
+
+def cmd_verify_analyze(args) -> int:
+    from .verify import format_diagnostics
+    from .verify.analyze import (
+        analyze_paths,
+        apply_baseline,
+        default_baseline_path,
+        load_baseline,
+        write_baseline,
+    )
+
+    paths = args.paths or [str(Path(__file__).parent)]
+    diagnostics = analyze_paths(paths)
+
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    if args.write_baseline:
+        write_baseline(baseline_path, diagnostics)
+        print(f"baseline: wrote {len(diagnostics)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    fresh, matched = apply_baseline(diagnostics, baseline)
+    shown = diagnostics if args.all else fresh
+    for line in format_diagnostics(shown, args.format):
+        print(line)
+    errors = [d for d in fresh if d.severity == "error"]
+    if args.format == "text":
+        print(
+            f"analyze: {len(fresh)} new finding(s) "
+            f"({len(errors)} error(s)), {matched} baselined"
+        )
+    # exit 1 on any *new* error; baselined and warning findings pass
+    return 1 if errors else 0
 
 
 def cmd_serve(args) -> int:
@@ -508,7 +544,32 @@ def build_parser() -> argparse.ArgumentParser:
     v = vsub.add_parser("lint", help="AST rules over the source tree")
     v.add_argument("paths", nargs="*",
                    help="files or directories (default: the repro package)")
+    v.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="output format (github = workflow annotations)")
     v.set_defaults(func=cmd_verify_lint)
+
+    v = vsub.add_parser(
+        "analyze",
+        help="interprocedural analysis: call-graph purity + lockset races",
+    )
+    v.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    v.add_argument("--format", choices=("text", "json", "github"),
+                   default="text",
+                   help="output format (github = workflow annotations)")
+    v.add_argument("--baseline", default=None,
+                   help="baseline JSON path (default: the committed "
+                        "verify/analyze_baseline.json)")
+    v.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, ignoring the baseline")
+    v.add_argument("--all", action="store_true",
+                   help="show baselined findings too (exit code still "
+                        "reflects only new errors)")
+    v.add_argument("--write-baseline", action="store_true",
+                   help="accept current findings: rewrite the baseline "
+                        "file and exit 0")
+    v.set_defaults(func=cmd_verify_analyze)
 
     p = sub.add_parser("serve", help="run the planner service daemon")
     p.add_argument("--host", default="127.0.0.1")

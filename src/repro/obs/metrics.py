@@ -25,7 +25,8 @@ def enabled() -> bool:
 
 def counter(name: str, value: float = 1, **attrs) -> None:
     """Add *value* to the counter *name* (sinks aggregate by name)."""
-    if not _trace._ENABLED:
+    # Lock-free fast path, same benign race as trace.span()
+    if not _trace._ENABLED:  # repro-lint: ignore[unguarded-attr]
         return
     _trace._emit_metric(
         MetricRecord(
@@ -40,7 +41,8 @@ def counter(name: str, value: float = 1, **attrs) -> None:
 
 def gauge(name: str, value: float, **attrs) -> None:
     """Set the gauge *name* to *value* (last write wins in summaries)."""
-    if not _trace._ENABLED:
+    # Lock-free fast path, same benign race as trace.span()
+    if not _trace._ENABLED:  # repro-lint: ignore[unguarded-attr]
         return
     _trace._emit_metric(
         MetricRecord(

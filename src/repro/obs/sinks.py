@@ -165,8 +165,10 @@ class MemorySink(Sink):
     def summary(self) -> str:
         """One-line digest for ``describe()`` surfaces."""
         parts = [f"{len(self.spans)} spans"]
-        for name in sorted(self.counters):
-            parts.append(f"{name}={self.counters[name]:g}")
+        with self._lock:
+            counters = dict(self.counters)
+        for name in sorted(counters):
+            parts.append(f"{name}={counters[name]:g}")
         return ", ".join(parts)
 
 

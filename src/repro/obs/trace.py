@@ -47,12 +47,17 @@ _TLS = threading.local()
 
 def enabled() -> bool:
     """True when at least one sink is installed."""
-    return _ENABLED
+    # Deliberate lock-free read: _ENABLED is a bool flipped under _LOCK;
+    # a stale read here only drops (or records) one span at the
+    # enable/disable boundary — benign under the GIL.
+    return _ENABLED  # repro-lint: ignore[unguarded-attr]
 
 
 def _thread_index() -> int:
     ident = threading.get_ident()
-    idx = _THREAD_IDS.get(ident)
+    # Double-checked: the racy .get is safe (dict reads are atomic under
+    # the GIL) and the slow path re-checks under _LOCK via setdefault.
+    idx = _THREAD_IDS.get(ident)  # repro-lint: ignore[unguarded-attr]
     if idx is None:
         with _LOCK:
             idx = _THREAD_IDS.setdefault(ident, len(_THREAD_IDS))
@@ -66,13 +71,19 @@ def _stack() -> list:
     return stack
 
 
+# The emit paths iterate _SINKS without _LOCK on purpose: enable/disable
+# replace the list contents atomically (extend / slice-swap under the
+# GIL), so an iterator sees either the old or the new sink set — never a
+# torn one — and the hot path stays lock-free.
+
+
 def _emit_span(rec: SpanRecord) -> None:
-    for sink in _SINKS:
+    for sink in _SINKS:  # repro-lint: ignore[unguarded-attr]
         sink.record_span(rec)
 
 
 def _emit_metric(rec: MetricRecord) -> None:
-    for sink in _SINKS:
+    for sink in _SINKS:  # repro-lint: ignore[unguarded-attr]
         sink.record_metric(rec)
 
 
@@ -136,7 +147,10 @@ def span(name: str, **attrs):
     path, asserted by the tests); enabled → a real span that reports a
     :class:`SpanRecord` to every sink on close, exception or not.
     """
-    if not _ENABLED:
+    # Lock-free fast path: this runs on every instrumented call site;
+    # a stale _ENABLED read at the toggle boundary is benign (see
+    # enabled()).
+    if not _ENABLED:  # repro-lint: ignore[unguarded-attr]
         return _NULL
     return _Span(name, attrs)
 
@@ -162,7 +176,8 @@ def disable(close: bool = True) -> None:
 
 def memory_sink() -> Optional[MemorySink]:
     """The first installed :class:`MemorySink`, if any (for summaries)."""
-    for sink in _SINKS:
+    # snapshot-read of _SINKS; see the comment above _emit_span
+    for sink in _SINKS:  # repro-lint: ignore[unguarded-attr]
         if isinstance(sink, MemorySink):
             return sink
     return None
@@ -179,8 +194,10 @@ class capture:
         self.sink = sink if sink is not None else MemorySink()
 
     def __enter__(self):
-        self._saved = list(_SINKS)
-        self._saved_enabled = _ENABLED
+        # captures are a test/CLI convenience driven from one thread;
+        # the save-then-enable window is not raced in practice
+        self._saved = list(_SINKS)  # repro-lint: ignore[unguarded-attr]
+        self._saved_enabled = _ENABLED  # repro-lint: ignore[unguarded-attr]
         enable(self.sink)
         return self.sink
 

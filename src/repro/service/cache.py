@@ -277,9 +277,10 @@ class PlanCache:
         return self._capacity
 
     def stats_dict(self) -> Dict[str, float]:
-        doc = self.stats.as_dict()
         with self._lock:
+            doc = self.stats.as_dict()
             doc["memory_entries"] = len(self._lru)
+        # disk walk stays outside the critical section: it is I/O-bound
         doc["disk_entries"] = len(self.disk_entries())
         doc["capacity"] = self._capacity
         return doc

@@ -110,7 +110,8 @@ class WorkerFleet:
 
     @property
     def alive(self) -> bool:
-        return self._pool is not None
+        with self._lock:
+            return self._pool is not None
 
     def submit(self, doc: Dict) -> "Future[Dict]":
         with self._lock:

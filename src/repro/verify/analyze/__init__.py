@@ -1,0 +1,160 @@
+"""Interprocedural static analysis over the repro source tree.
+
+Three layers, all stdlib-``ast`` — the analyzed code is never imported:
+
+1. :mod:`.callgraph` — a module-qualified call graph for the package
+   (import bindings, re-export chasing, ``self``/``cls`` method
+   resolution, conservative name-based dispatch).
+2. :mod:`.purity` — purity/determinism propagation: taint seeds (clock
+   and RNG reads, ``os.environ``, order-dependent set/dict iteration)
+   flagged when reachable from the pricing/fingerprint/serialize entry
+   points.  This replaces auditing ``_WALLCLOCK_MODULES`` by hand: the
+   per-file linter still catches a clock read *in* a pricing module, the
+   analyzer catches a pricing module *calling into* one anywhere in the
+   package.
+3. :mod:`.locks` — lockset analysis for the threaded layers: guarded
+   attributes accessed without their lock, inconsistent lock nesting
+   order, blocking work inside critical sections.
+
+Findings are ordinary :class:`~repro.verify.diagnostics.Diagnostic`
+objects, honor ``# repro-lint: ignore[rule]`` pragmas, and carry a
+stable ``key`` (no line numbers) so a committed baseline survives
+unrelated edits.  ``repro verify analyze`` is the CLI; CI runs it with
+``--format github`` so findings surface as workflow annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from ..diagnostics import Diagnostic
+from .callgraph import PackageIndex, build_index, index_paths
+from .locks import LOCK_SCOPE, run_locks
+from .purity import ENTRY_SUFFIXES, TRUSTED_PREFIXES, run_purity
+
+__all__ = [
+    "ANALYZE_RULES",
+    "ENTRY_SUFFIXES",
+    "LOCK_SCOPE",
+    "TRUSTED_PREFIXES",
+    "PackageIndex",
+    "analyze_index",
+    "analyze_paths",
+    "apply_baseline",
+    "baseline_from",
+    "build_index",
+    "default_baseline_path",
+    "index_paths",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: every analyzer rule id → what it means (mirrors LINT_RULES).
+ANALYZE_RULES: Dict[str, str] = {
+    "analyze/impure-reach": (
+        "a deterministic entry point (pricing, fingerprint, serialize, "
+        "simulator) transitively reaches a wall-clock, RNG or environ read"
+    ),
+    "analyze/order-reach": (
+        "a deterministic entry point transitively reaches iteration whose "
+        "order is unspecified (set iteration, unsorted dict views)"
+    ),
+    "analyze/unguarded-attr": (
+        "an attribute written under a lock elsewhere is read or written "
+        "without holding that lock"
+    ),
+    "analyze/lock-order": (
+        "two locks are acquired in both nesting orders (AB/BA deadlock "
+        "shape)"
+    ),
+    "analyze/blocking-under-lock": (
+        "a blocking call (plan search, Future.result, disk I/O, sleep) "
+        "runs while a lock is held"
+    ),
+}
+
+
+def _sort_key(diag: Diagnostic) -> Tuple[str, int, str]:
+    where = diag.where or ""
+    path, _, line = where.rpartition(":")
+    try:
+        num = int(line)
+    except ValueError:
+        path, num = where, 0
+    return (path, num, diag.rule)
+
+
+def analyze_index(index: PackageIndex, **overrides) -> List[Diagnostic]:
+    """Run every analysis layer over an already-built index."""
+    entries = overrides.get("entries", ENTRY_SUFFIXES)
+    trusted = overrides.get("trusted", TRUSTED_PREFIXES)
+    scope = overrides.get("scope", LOCK_SCOPE)
+    diagnostics = run_purity(index, entries=entries, trusted=trusted)
+    diagnostics += run_locks(index, scope=scope)
+    return sorted(diagnostics, key=_sort_key)
+
+
+def analyze_paths(paths: Iterable, **overrides) -> List[Diagnostic]:
+    """Index every ``.py`` file under *paths* and run all layers."""
+    return analyze_index(index_paths(paths), **overrides)
+
+
+# -- baseline ---------------------------------------------------------------
+#
+# The baseline is {stable key: count}: accepted historical findings that
+# should not fail CI while still failing on anything *new*.  Keys carry
+# no line numbers, so unrelated edits don't churn the file.
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent.parent / "analyze_baseline.json"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    if not Path(path).exists():
+        return {}
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    baseline = doc.get("baseline", doc) if isinstance(doc, dict) else {}
+    return {str(k): int(v) for k, v in baseline.items()}
+
+
+def baseline_from(diagnostics: Iterable[Diagnostic]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for diag in diagnostics:
+        key = diag.key or f"{diag.rule}|{diag.where}"
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def write_baseline(path: Path, diagnostics: Iterable[Diagnostic]) -> None:
+    doc = {
+        "comment": (
+            "Accepted `repro verify analyze` findings. Keys are stable "
+            "(rule|path|symbol|detail — no line numbers); values are "
+            "occurrence counts. Regenerate with "
+            "`repro verify analyze --write-baseline`."
+        ),
+        "baseline": dict(sorted(baseline_from(diagnostics).items())),
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    diagnostics: List[Diagnostic], baseline: Dict[str, int]
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (new, matched-count) against a baseline."""
+    budget = dict(baseline)
+    fresh: List[Diagnostic] = []
+    matched = 0
+    for diag in diagnostics:
+        key = diag.key or f"{diag.rule}|{diag.where}"
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            fresh.append(diag)
+    return fresh, matched

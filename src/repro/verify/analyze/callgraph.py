@@ -1,0 +1,466 @@
+"""Module-qualified call graph over a Python package, built from the AST.
+
+The interprocedural passes (:mod:`.purity`, :mod:`.locks`) need to know
+*who calls whom* across module boundaries — a clock read is only a
+determinism bug when a pricing entry point can reach it.  This module
+indexes every ``.py`` file of a package into symbol tables and resolves
+call sites to fully qualified names (``repro.core.cost.CostModel.plan_cost``),
+stdlib-only and without importing any of the analyzed code.
+
+Resolution strategy, most to least precise:
+
+* **Direct names** — ``derive_plan(...)`` resolves through the module's
+  import bindings (``import x as y``, ``from .m import f``, relative
+  imports) and its own top-level definitions.  Re-exports are chased
+  through package ``__init__`` files (``from ..core import CostConfig``
+  lands on ``repro.core.cost.CostConfig``).
+* **Module attributes** — ``planner.derive_plan(...)`` flattens the
+  attribute chain, substitutes the bound module and looks the symbol up
+  there.
+* **self/cls methods** — ``self._insert(...)`` inside a class resolves
+  to the method in that class (or an in-package base class).
+* **Class-level dispatch** — ``obj.plan_cost(...)`` with an unknown
+  receiver links to *every* in-package method of that name, unless the
+  name is a common container/str/file method (the denylist below), where
+  name matching would connect everything to everything.
+* **Dynamic calls** (computed attributes, callables in data structures)
+  stay unresolved; the passes treat unresolved calls as no-ops and the
+  limitation is documented in DESIGN.md.
+
+Calling a class links to its ``__init__`` and ``__post_init__`` — object
+construction runs that code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "PackageIndex",
+    "build_index",
+    "index_paths",
+    "flatten_attr",
+]
+
+#: attribute-call names too generic for class-level dispatch: matching
+#: them by name would link dict/list/str/file plumbing to unrelated
+#: classes and drown the passes in false paths.
+DISPATCH_DENYLIST = frozenset({
+    "get", "put", "pop", "popitem", "setdefault", "update", "clear",
+    "add", "append", "appendleft", "extend", "remove", "discard",
+    "insert", "sort", "reverse", "copy", "count", "index",
+    "items", "keys", "values",
+    "join", "split", "rsplit", "strip", "lstrip", "rstrip", "format",
+    "startswith", "endswith", "lower", "upper", "replace", "encode",
+    "decode", "ljust", "rjust", "zfill", "title", "capitalize",
+    "read", "write", "readline", "readlines", "seek", "tell", "flush",
+    "close", "open",
+    "match", "search", "fullmatch", "findall", "finditer", "sub",
+    "group", "groups", "groupdict",
+    "exists", "is_file", "is_dir", "mkdir", "unlink", "glob", "rglob",
+    "stat", "resolve", "with_name", "with_suffix", "relative_to",
+    "move_to_end", "most_common", "total",
+    "keys", "get_ident", "set", "wait", "release", "acquire",
+    "submit", "result", "send", "recv", "connect",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str                 # repro.core.cost.CostModel.plan_cost
+    module: str                   # repro.core.cost
+    name: str                     # plan_cost
+    cls: Optional[str]            # CostModel (None for module functions)
+    node: ast.AST                 # the FunctionDef / AsyncFunctionDef
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and base-class names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: List[str] = field(default_factory=list)  # unresolved, as written
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module with its binding table."""
+
+    module: str                   # dotted name
+    path: str                     # as given (normalized separators)
+    relpath: str                  # package-relative, e.g. repro/core/cost.py
+    source: str
+    tree: ast.Module
+    is_package: bool              # an __init__.py
+    bindings: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def flatten_attr(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` → ``["a", "b", "c"]``; None when the base is not a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _module_name(relpath: str) -> Tuple[str, bool]:
+    """Dotted module name for a package-relative path, + is-package flag."""
+    parts = relpath.replace("\\", "/").split("/")
+    is_package = parts[-1] == "__init__.py"
+    if is_package:
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-3]  # strip .py
+    return ".".join(parts), is_package
+
+
+class _ModuleIndexer(ast.NodeVisitor):
+    """Collect bindings, functions and classes of one module."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._class: Optional[ClassInfo] = None
+
+    def _package_of(self, level: int) -> str:
+        base = self.info.module.split(".")
+        if not self.info.is_package:
+            base = base[:-1]
+        if level > 1:
+            base = base[: len(base) - (level - 1)]
+        return ".".join(base)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.info.bindings[alias.asname] = alias.name
+            else:
+                # ``import a.b.c`` binds ``a``; attribute chains flatten
+                # through the full dotted path at resolution time.
+                root = alias.name.split(".")[0]
+                self.info.bindings.setdefault(root, root)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = self._package_of(node.level)
+            source = f"{base}.{node.module}" if node.module else base
+        else:
+            source = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self.info.bindings[bound] = f"{source}.{alias.name}"
+
+    def _add_function(self, node) -> None:
+        if self._class is not None:
+            qual = f"{self._class.qualname}.{node.name}"
+            fn = FunctionInfo(
+                qualname=qual,
+                module=self.info.module,
+                name=node.name,
+                cls=self._class.name,
+                node=node,
+                lineno=node.lineno,
+            )
+            self._class.methods[node.name] = fn
+        else:
+            qual = f"{self.info.module}.{node.name}"
+            fn = FunctionInfo(
+                qualname=qual,
+                module=self.info.module,
+                name=node.name,
+                cls=None,
+                node=node,
+                lineno=node.lineno,
+            )
+            self.info.functions[node.name] = fn
+        # nested defs stay attributed to the enclosing scope: don't recurse
+
+    visit_FunctionDef = _add_function
+    visit_AsyncFunctionDef = _add_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._class is not None:
+            return  # nested classes: out of scope
+        cls = ClassInfo(
+            qualname=f"{self.info.module}.{node.name}",
+            module=self.info.module,
+            name=node.name,
+            node=node,
+        )
+        for base in node.bases:
+            parts = flatten_attr(base)
+            if parts:
+                cls.base_names.append(".".join(parts))
+        self.info.classes[node.name] = cls
+        self._class = cls
+        for child in node.body:
+            self.visit(child)
+        self._class = None
+
+
+class PackageIndex:
+    """Symbol tables + call graph for one package tree."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.methods_by_name: Dict[str, List[str]] = {}
+        for mod in modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.qualname] = fn
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+                for fn in cls.methods.values():
+                    self.functions[fn.qualname] = fn
+                    self.methods_by_name.setdefault(fn.name, []).append(
+                        fn.qualname
+                    )
+        #: caller qualname → callee qualnames
+        self.edges: Dict[str, Set[str]] = {}
+        #: callee qualname → caller qualnames (built with the edges)
+        self.redges: Dict[str, Set[str]] = {}
+        self._build_edges()
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_symbol(
+        self, module: str, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Resolve *dotted* (as visible inside *module*) to a qualname.
+
+        Returns the qualname of a function, class or module in the
+        package, or None for anything external / dynamic.  Follows
+        import bindings and re-export chains through ``__init__``
+        modules (bounded depth — import cycles must not hang the
+        analyzer).
+        """
+        if _depth > 16:
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        first, _, rest = dotted.partition(".")
+        target = info.bindings.get(first)
+        if target is None:
+            if first in info.functions or first in info.classes:
+                target = f"{module}.{first}"
+            elif first == module.rsplit(".", 1)[-1]:
+                target = module
+            else:
+                return None
+        full = f"{target}.{rest}" if rest else target
+        return self._resolve_full(full, _depth)
+
+    def _resolve_full(self, full: str, _depth: int) -> Optional[str]:
+        """Resolve an absolute dotted path against the package namespace."""
+        if full in self.functions or full in self.classes:
+            return full
+        if full in self.modules:
+            return full
+        # longest module prefix + remainder
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                remainder = ".".join(parts[cut:])
+                owner = self.modules[prefix]
+                head = parts[cut]
+                if head in owner.functions or head in owner.classes:
+                    candidate = f"{prefix}.{remainder}"
+                    if (
+                        candidate in self.functions
+                        or candidate in self.classes
+                    ):
+                        return candidate
+                    # Class attribute chain (e.g. Cls.method)
+                    if head in owner.classes and len(parts) - cut == 2:
+                        meth = owner.classes[head].methods.get(parts[cut + 1])
+                        if meth is not None:
+                            return meth.qualname
+                    return None
+                # re-export: follow the __init__ binding
+                return self.resolve_symbol(prefix, remainder, _depth + 1)
+        return None
+
+    def resolve_method(self, cls_qualname: str, name: str) -> Optional[str]:
+        """Find *name* on the class or an in-package base (depth-bounded)."""
+        seen: Set[str] = set()
+        stack = [cls_qualname]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            cls = self.classes.get(qual)
+            if cls is None:
+                continue
+            if name in cls.methods:
+                return cls.methods[name].qualname
+            for base in cls.base_names:
+                resolved = self.resolve_symbol(cls.module, base)
+                if resolved:
+                    stack.append(resolved)
+        return None
+
+    # -- call graph --------------------------------------------------------
+
+    def _callee_targets(
+        self, fn: FunctionInfo, call: ast.Call
+    ) -> List[str]:
+        """Qualnames a call site may reach (empty = unresolved)."""
+        parts = flatten_attr(call.func)
+        if parts is None:
+            return []
+        targets: List[str] = []
+        if parts[0] in ("self", "cls") and fn.cls is not None:
+            cls_qual = f"{fn.module}.{fn.cls}"
+            if len(parts) == 2:
+                meth = self.resolve_method(cls_qual, parts[1])
+                if meth:
+                    return [meth]
+            # ``self.attr.m(...)``: unknown receiver → dispatch on name
+            return self._dispatch(parts[-1])
+        resolved = self.resolve_symbol(fn.module, ".".join(parts))
+        if resolved is None and len(parts) > 1:
+            # maybe the prefix resolves to a class (alias.Cls.method)
+            prefix = self.resolve_symbol(fn.module, ".".join(parts[:-1]))
+            if prefix and prefix in self.classes:
+                meth = self.resolve_method(prefix, parts[-1])
+                if meth:
+                    return [meth]
+            if prefix is None and len(parts) > 1:
+                return self._dispatch(parts[-1])
+        if resolved is None:
+            return []
+        if resolved in self.classes:
+            # constructing the class runs __init__/__post_init__
+            for hook in ("__init__", "__post_init__"):
+                meth = self.resolve_method(resolved, hook)
+                if meth:
+                    targets.append(meth)
+            return targets
+        if resolved in self.functions:
+            return [resolved]
+        return []
+
+    def _dispatch(self, name: str) -> List[str]:
+        if name in DISPATCH_DENYLIST:
+            return []
+        return list(self.methods_by_name.get(name, ()))
+
+    def _build_edges(self) -> None:
+        for fn in self.functions.values():
+            callees = self.edges.setdefault(fn.qualname, set())
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call):
+                    for target in self._callee_targets(fn, node):
+                        callees.add(target)
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                self.redges.setdefault(callee, set()).add(caller)
+
+    # -- traversal helpers -------------------------------------------------
+
+    def shortest_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """BFS over call edges; a list of qualnames, or None."""
+        if start == goal:
+            return [start]
+        parents: Dict[str, str] = {start: start}
+        frontier = [start]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for callee in sorted(self.edges.get(node, ())):
+                    if callee in parents:
+                        continue
+                    parents[callee] = node
+                    if callee == goal:
+                        path = [callee]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(callee)
+            frontier = nxt
+        return None
+
+
+def build_index(
+    files: Sequence[Tuple[str, str, str]]
+) -> PackageIndex:
+    """Index ``(path, relpath, source)`` triples into a PackageIndex.
+
+    *relpath* is the package-relative path (``repro/core/cost.py``) that
+    determines the module's dotted name and the scope rules in the
+    passes.  Unparseable files are skipped — the per-file linter already
+    reports syntax errors.
+    """
+    modules: Dict[str, ModuleInfo] = {}
+    for path, relpath, source in files:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        name, is_package = _module_name(relpath)
+        info = ModuleInfo(
+            module=name,
+            path=str(path).replace("\\", "/"),
+            relpath=relpath.replace("\\", "/"),
+            source=source,
+            tree=tree,
+            is_package=is_package,
+        )
+        _ModuleIndexer(info).visit(tree)
+        modules[name] = info
+    return PackageIndex(modules)
+
+
+def index_paths(paths: Iterable) -> PackageIndex:
+    """Index every ``.py`` file under *paths* (files or directories).
+
+    The package-relative path of each file starts at the innermost
+    directory that is itself a package root (its parent has no
+    ``__init__.py``), so ``src/repro/core/cost.py`` indexes as module
+    ``repro.core.cost`` wherever the tree lives on disk.
+    """
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    triples: List[Tuple[str, str, str]] = []
+    for f in files:
+        root = f.parent
+        while (root.parent / "__init__.py").exists():
+            root = root.parent
+        try:
+            rel = f.relative_to(root.parent)
+        except ValueError:  # pragma: no cover - f outside its own root
+            rel = Path(f.name)
+        try:
+            triples.append((str(f), str(rel), f.read_text()))
+        except OSError:
+            continue
+    return build_index(triples)

@@ -1,0 +1,703 @@
+"""Lockset analysis for the threaded planner layers.
+
+The service (PR 7) made the planner concurrent: a ThreadingHTTPServer
+front end, coalescing waiters, a process-pool fleet, shared caches and
+metric sinks.  The dangerous bugs there are not per-file — they are a
+``self._stats`` counter incremented under ``self._lock`` in one method
+and read bare in another.  This pass infers locking discipline from the
+code and flags deviations, Eraser-style:
+
+1. **Guarded-attribute inference.**  Within each class (and for module
+   globals, within each module), an attribute is *guarded* when at least
+   one write to it happens while a lock is held — ``with self._lock:``
+   blocks, including locks inherited interprocedurally: a private helper
+   whose every in-class call site holds the lock analyzes as holding it
+   too (the ``_insert``-called-under-``get``'s-lock pattern).
+2. ``analyze/unguarded-attr`` — any other read or write of a guarded
+   attribute outside the guarding lock.  ``__init__``/``__post_init__``/
+   ``__new__`` are exempt (the object is not shared yet).  Deliberately
+   lock-free fast paths carry ``# repro-lint: ignore[unguarded-attr]``
+   pragmas with a justification comment.
+3. ``analyze/lock-order`` — two locks acquired in both nesting orders
+   anywhere in the tree: the classic AB/BA deadlock shape.
+4. ``analyze/blocking-under-lock`` — a blocking operation (plan search,
+   ``Future.result``, ``Event.wait``, disk I/O, ``time.sleep``,
+   subprocess/network calls) while holding any lock: the lock's critical
+   section inherits the whole latency and every waiter stalls.
+
+Scope: ``service/``, ``obs/`` and ``core/evaluate.py`` (the threaded
+layers).  Locks are recognised as ``threading``/``multiprocessing``
+``Lock``/``RLock``/``Condition``/``Semaphore`` factory assignments, or
+any with-context attribute/global whose name contains ``lock``.
+Limitations (documented in DESIGN.md): bare ``.acquire()``/``.release()``
+pairs are not tracked (the tree uses ``with`` exclusively), receivers
+other than ``self`` are not typed, and locks created per-call are
+invisible.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..diagnostics import Diagnostic, ERROR
+from ..pragmas import suppressed, suppressions
+from .callgraph import ClassInfo, FunctionInfo, ModuleInfo, PackageIndex, flatten_attr
+
+__all__ = ["LOCK_SCOPE", "run_locks"]
+
+#: relpath fragments of the threaded layers the lockset pass covers.
+LOCK_SCOPE: Tuple[str, ...] = ("service/", "obs/", "core/evaluate.py")
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+})
+
+#: method names that mutate their receiver — a ``self._lru.move_to_end``
+#: is a write to ``_lru`` for guarded-attribute purposes.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "add", "remove", "discard",
+    "insert", "pop", "popleft", "popitem", "clear", "update",
+    "setdefault", "sort", "reverse", "move_to_end",
+})
+
+#: attribute-call names that block the calling thread.
+_BLOCKING_ATTRS = frozenset({
+    "result", "wait", "read_text", "write_text", "read_bytes",
+    "write_bytes", "urlopen", "serve_forever",
+})
+
+#: fully qualified blocking calls (resolved through import aliases).
+_BLOCKING_DOTTED = frozenset({
+    "time.sleep", "os.replace", "os.rename",
+    "subprocess.run", "subprocess.check_call", "subprocess.check_output",
+    "subprocess.Popen", "urllib.request.urlopen", "shutil.move",
+    "shutil.copy", "shutil.copytree",
+})
+
+#: in-package search/simulation entry points: a full plan search under a
+#: lock serialises the whole service.
+_BLOCKING_FUNCS = frozenset({
+    "derive_plan", "plan_request", "execute_request",
+    "simulate_iteration", "build_request_graph",
+})
+
+_INIT_FUNCS = frozenset({"__init__", "__post_init__", "__new__"})
+
+LockId = Tuple[str, str]  # (owner qualname: class or module, name)
+
+
+@dataclass
+class _Access:
+    owner: str
+    attr: str
+    kind: str          # "read" | "write"
+    func: str          # containing function qualname
+    relpath: str
+    path: str
+    lineno: int
+    end_lineno: int
+    held: FrozenSet[LockId]
+
+
+@dataclass
+class _Acquire:
+    lock: LockId
+    func: str
+    relpath: str
+    path: str
+    lineno: int
+    held: FrozenSet[LockId]
+
+
+@dataclass
+class _Blocking:
+    desc: str
+    func: str
+    relpath: str
+    path: str
+    lineno: int
+    end_lineno: int
+    held: FrozenSet[LockId]
+
+
+def _in_scope(relpath: str, scope: Sequence[str]) -> bool:
+    padded = f"/{relpath}"
+    for fragment in scope:
+        if fragment.endswith("/"):
+            if f"/{fragment}" in padded:
+                return True
+        elif relpath.endswith(fragment):
+            return True
+    return False
+
+
+def _lock_name(name: str) -> bool:
+    return "lock" in name.lower()
+
+
+def _module_globals(mod: ModuleInfo) -> Set[str]:
+    """Names assigned state at module top level (not defs or imports)."""
+    out: Set[str] = set()
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                out.add(stmt.target.id)
+    return out
+
+
+def _factory_call(node: ast.AST, bindings: Dict[str, str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    parts = flatten_attr(node.func)
+    if not parts:
+        return False
+    head = bindings.get(parts[0], parts[0])
+    dotted = ".".join([head] + parts[1:])
+    return dotted in _LOCK_FACTORIES
+
+
+def _module_locks(mod: ModuleInfo) -> Set[str]:
+    """Module-level lock globals (factory assignment or lock-ish name)."""
+    locks: Set[str] = set()
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.Assign) and _factory_call(
+            stmt.value, mod.bindings
+        ):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    locks.add(target.id)
+    return locks
+
+
+def _class_locks(cls: ClassInfo, bindings: Dict[str, str]) -> Set[str]:
+    """Attributes of *cls* that hold locks (``self.X = threading.Lock()``)."""
+    locks: Set[str] = set()
+    for method in cls.methods.values():
+        for node in ast.walk(method.node):
+            if isinstance(node, ast.Assign) and _factory_call(
+                node.value, bindings
+            ):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+    return locks
+
+
+class _FunctionScan:
+    """Lexical walk of one function: accesses, acquisitions, callsites."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        mod: ModuleInfo,
+        index: PackageIndex,
+        class_locks: Set[str],
+        module_locks: Set[str],
+        globals_by_module: Dict[str, Set[str]],
+    ) -> None:
+        self.fn = fn
+        self.mod = mod
+        self.index = index
+        self.class_locks = class_locks
+        self.module_locks = module_locks
+        self.globals_by_module = globals_by_module
+        self.accesses: List[_Access] = []
+        self.acquires: List[_Acquire] = []
+        self.blocking: List[_Blocking] = []
+        #: callee qualname → lexical held set at the call site
+        self.callsites: List[Tuple[str, FrozenSet[LockId]]] = []
+        self._locals = self._local_names()
+
+    # -- setup -------------------------------------------------------------
+
+    def _local_names(self) -> Set[str]:
+        node = self.fn.node
+        names: Set[str] = set()
+        args = node.args
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            names.add(a.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+        declared_global: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(sub.id)
+        return names - declared_global
+
+    # -- the walk ----------------------------------------------------------
+
+    def run(self) -> None:
+        body = getattr(self.fn.node, "body", [])
+        self._walk_body(body, frozenset())
+
+    def _walk_body(self, stmts, held: FrozenSet[LockId]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes: out of this function's lockset
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: List[LockId] = []
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, held)
+                    lock = self._lock_id(item.context_expr)
+                    if lock is not None:
+                        already = held | frozenset(acquired)
+                        self.acquires.append(
+                            _Acquire(
+                                lock=lock,
+                                func=self.fn.qualname,
+                                relpath=self.mod.relpath,
+                                path=self.mod.path,
+                                lineno=item.context_expr.lineno,
+                                held=already,
+                            )
+                        )
+                        acquired.append(lock)
+                self._walk_body(stmt.body, held | frozenset(acquired))
+                continue
+            # generic compound statement: scan expression fields with the
+            # current lockset, recurse into statement-list fields
+            for _field, value in ast.iter_fields(stmt):
+                if isinstance(value, list) and value and isinstance(
+                    value[0], (ast.stmt, ast.excepthandler)
+                ):
+                    if isinstance(value[0], ast.excepthandler):
+                        for handler in value:
+                            self._walk_body(handler.body, held)
+                    else:
+                        self._walk_body(value, held)
+                elif isinstance(value, ast.expr):
+                    self._scan_expr(value, held)
+                elif isinstance(value, list) and value and isinstance(
+                    value[0], ast.expr
+                ):
+                    for expr in value:
+                        self._scan_expr(expr, held)
+
+    # -- lock identification ----------------------------------------------
+
+    def _lock_id(self, expr: ast.AST) -> Optional[LockId]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and self.fn.cls is not None
+        ):
+            name = expr.attr
+            if name in self.class_locks or _lock_name(name):
+                return (f"{self.fn.module}.{self.fn.cls}", name)
+            return None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in self.module_locks or (
+                _lock_name(name) and name in self.globals_by_module.get(
+                    self.mod.module, ()
+                )
+            ):
+                return (self.mod.module, name)
+        return None
+
+    # -- expression scanning ----------------------------------------------
+
+    def _scan_expr(self, expr: ast.AST, held: FrozenSet[LockId]) -> None:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(expr):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                self._attr_access(node, parents, held)
+            elif isinstance(node, ast.Name):
+                self._global_access(node, parents, held)
+            elif isinstance(node, ast.Call):
+                self._call(node, held)
+
+    def _is_written(self, node: ast.AST, parents: Dict) -> bool:
+        """Store/Del on the node or through an attr/subscript chain, or a
+        mutating method call on it."""
+        ctx = getattr(node, "ctx", None)
+        if isinstance(ctx, (ast.Store, ast.Del)):
+            return True
+        cur = node
+        parent = parents.get(cur)
+        while isinstance(parent, (ast.Attribute, ast.Subscript)):
+            pctx = getattr(parent, "ctx", None)
+            if isinstance(pctx, (ast.Store, ast.Del)):
+                return True
+            cur, parent = parent, parents.get(parent)
+        # receiver of a mutating method: parent Attribute(attr in MUTATORS)
+        # whose own parent is the Call using it as func
+        parent = parents.get(node)
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.attr in _MUTATORS
+            and isinstance(parents.get(parent), ast.Call)
+            and parents[parent].func is parent
+        ):
+            return True
+        return False
+
+    def _record(
+        self,
+        owner: str,
+        attr: str,
+        node: ast.AST,
+        parents: Dict,
+        held: FrozenSet[LockId],
+    ) -> None:
+        kind = "write" if self._is_written(node, parents) else "read"
+        lineno = getattr(node, "lineno", self.fn.lineno)
+        self.accesses.append(
+            _Access(
+                owner=owner,
+                attr=attr,
+                kind=kind,
+                func=self.fn.qualname,
+                relpath=self.mod.relpath,
+                path=self.mod.path,
+                lineno=lineno,
+                end_lineno=getattr(node, "end_lineno", None) or lineno,
+                held=held,
+            )
+        )
+
+    def _attr_access(
+        self, node: ast.Attribute, parents: Dict, held: FrozenSet[LockId]
+    ) -> None:
+        base = node.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id == "self"
+            and self.fn.cls is not None
+        ):
+            if node.attr in self.class_locks or _lock_name(node.attr):
+                return  # the lock itself, not shared data
+            owner = f"{self.fn.module}.{self.fn.cls}"
+            self._record(owner, node.attr, node, parents, held)
+            return
+        # cross-module global: alias.GLOBAL where alias binds to a module
+        if isinstance(base, ast.Name):
+            target = self.mod.bindings.get(base.id)
+            if target and target in self.index.modules:
+                owned = self.globals_by_module.get(target, set())
+                if node.attr in owned and not _lock_name(node.attr):
+                    self._record(target, node.attr, node, parents, held)
+
+    def _global_access(
+        self, node: ast.Name, parents: Dict, held: FrozenSet[LockId]
+    ) -> None:
+        name = node.id
+        if name in self._locals or name in self.module_locks:
+            return
+        if _lock_name(name):
+            return
+        if name not in self.globals_by_module.get(self.mod.module, ()):
+            return
+        self._record(self.mod.module, name, node, parents, held)
+
+    def _call(self, node: ast.Call, held: FrozenSet[LockId]) -> None:
+        parts = flatten_attr(node.func)
+        desc: Optional[str] = None
+        callee: Optional[str] = None
+        if parts is not None:
+            dotted_head = self.mod.bindings.get(parts[0], parts[0])
+            dotted = ".".join([dotted_head] + parts[1:])
+            final = parts[-1]
+            if dotted in _BLOCKING_DOTTED:
+                desc = f"{dotted}()"
+            elif dotted == "open" or final == "open" and len(parts) == 1:
+                desc = "open()"
+            elif len(parts) > 1 and final in _BLOCKING_ATTRS:
+                desc = f".{final}()"
+            elif final in _BLOCKING_FUNCS:
+                desc = f"{final}() (plan search/simulation)"
+            # intra-class / intra-module callsites for lock inheritance
+            if (
+                len(parts) == 2
+                and parts[0] in ("self", "cls")
+                and self.fn.cls is not None
+            ):
+                cls_qual = f"{self.fn.module}.{self.fn.cls}"
+                target = self.index.resolve_method(cls_qual, parts[1])
+                if target:
+                    callee = target
+            elif len(parts) == 1:
+                fn = self.mod.functions.get(parts[0])
+                if fn is not None:
+                    callee = fn.qualname
+        if desc is not None:
+            lineno = getattr(node, "lineno", self.fn.lineno)
+            self.blocking.append(
+                _Blocking(
+                    desc=desc,
+                    func=self.fn.qualname,
+                    relpath=self.mod.relpath,
+                    path=self.mod.path,
+                    lineno=lineno,
+                    end_lineno=getattr(node, "end_lineno", None) or lineno,
+                    held=held,
+                )
+            )
+        if callee is not None:
+            self.callsites.append((callee, held))
+
+
+def _short_lock(lock: LockId) -> str:
+    owner, name = lock
+    return f"{owner.rsplit('.', 1)[-1]}.{name}"
+
+
+def _short_func(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def run_locks(
+    index: PackageIndex, *, scope: Sequence[str] = LOCK_SCOPE
+) -> List[Diagnostic]:
+    """Run the lockset pass over every scoped module of *index*."""
+    globals_by_module = {
+        mod.module: _module_globals(mod) for mod in index.modules.values()
+    }
+    scans: List[_FunctionScan] = []
+    supp: Dict[str, Dict[int, Set[str]]] = {}
+    for mod in index.modules.values():
+        if not _in_scope(mod.relpath, scope):
+            continue
+        supp[mod.relpath] = suppressions(mod.source)
+        module_locks = _module_locks(mod)
+        for fn in mod.functions.values():
+            scan = _FunctionScan(
+                fn, mod, index, set(), module_locks, globals_by_module
+            )
+            scan.run()
+            scans.append(scan)
+        for cls in mod.classes.values():
+            locks = _class_locks(cls, mod.bindings)
+            for fn in cls.methods.values():
+                scan = _FunctionScan(
+                    fn, mod, index, locks, module_locks, globals_by_module
+                )
+                scan.run()
+                scans.append(scan)
+
+    must_hold, may_hold = _inherited_contexts(scans)
+
+    def effective(func: str, held: FrozenSet[LockId]) -> FrozenSet[LockId]:
+        """Locks provably held (intersection over call paths)."""
+        return held | must_hold.get(func, frozenset())
+
+    def possible(func: str, held: FrozenSet[LockId]) -> FrozenSet[LockId]:
+        """Locks held on at least one call path (union) — used only to
+        decide an attribute *is* guarded; flagging uses the must-hold
+        set so a sometimes-locked helper still reports its bare path."""
+        return held | may_hold.get(func, frozenset())
+
+    diagnostics: List[Diagnostic] = []
+    diagnostics += _unguarded_attr(scans, effective, possible, supp)
+    diagnostics += _lock_order(scans, effective, supp)
+    diagnostics += _blocking_under_lock(scans, effective, supp)
+    return diagnostics
+
+
+def _inherited_contexts(
+    scans: List[_FunctionScan],
+) -> Tuple[Dict[str, FrozenSet[LockId]], Dict[str, FrozenSet[LockId]]]:
+    """Lock contexts inherited from in-class/module call sites.
+
+    Returns ``(must_hold, may_hold)`` per function qualname: the
+    intersection and the union over every call site's lock context,
+    each fixpointed a few rounds.  The must-hold pass starts at ⊤
+    (optimistic) so recursion converges downward; the may-hold pass
+    starts at ∅ and grows.
+    """
+    sites: Dict[str, List[Tuple[str, FrozenSet[LockId]]]] = {}
+    for scan in scans:
+        for callee, held in scan.callsites:
+            sites.setdefault(callee, []).append((scan.fn.qualname, held))
+    TOP = None  # lattice top: unconstrained
+    must: Dict[str, Optional[FrozenSet[LockId]]] = {}
+    may: Dict[str, FrozenSet[LockId]] = {}
+    for scan in scans:
+        qual = scan.fn.qualname
+        must[qual] = TOP if qual in sites else frozenset()
+        may[qual] = frozenset()
+    for _ in range(10):
+        changed = False
+        for callee, callers in sites.items():
+            vals = []
+            union: FrozenSet[LockId] = frozenset()
+            for caller, lexical in callers:
+                union = union | lexical | may.get(caller, frozenset())
+                ctx = must.get(caller, frozenset())
+                if ctx is TOP:
+                    continue
+                vals.append(lexical | ctx)
+            if union != may.get(callee):
+                may[callee] = union
+                changed = True
+            if not vals:
+                continue
+            new: FrozenSet[LockId] = vals[0]
+            for v in vals[1:]:
+                new = new & v
+            if must.get(callee) != new:
+                must[callee] = new
+                changed = True
+        if not changed:
+            break
+    must_out = {
+        qual: (ctx if ctx is not TOP else frozenset())
+        for qual, ctx in must.items()
+    }
+    return must_out, may
+
+
+def _unguarded_attr(scans, effective, possible, supp) -> List[Diagnostic]:
+    by_attr: Dict[Tuple[str, str], List[_Access]] = {}
+    for scan in scans:
+        for access in scan.accesses:
+            by_attr.setdefault((access.owner, access.attr), []).append(access)
+    diagnostics: List[Diagnostic] = []
+    for (owner, attr), accesses in sorted(by_attr.items()):
+        guards: Set[LockId] = set()
+        for access in accesses:
+            if access.kind != "write":
+                continue
+            if access.func.rsplit(".", 1)[-1] in _INIT_FUNCS:
+                continue
+            guards.update(possible(access.func, access.held))
+        if not guards:
+            continue  # never written under a lock → not a guarded attr
+        for access in accesses:
+            if access.func.rsplit(".", 1)[-1] in _INIT_FUNCS:
+                continue
+            if effective(access.func, access.held) & guards:
+                continue
+            rule = "analyze/unguarded-attr"
+            table = supp.get(access.relpath, {})
+            if suppressed(table, rule, access.lineno, access.end_lineno):
+                continue
+            locks = ", ".join(sorted(_short_lock(g) for g in guards))
+            short_owner = owner.rsplit(".", 1)[-1]
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule,
+                    message=(
+                        f"{short_owner}.{attr} is {access.kind} in "
+                        f"{_short_func(access.func)} without holding "
+                        f"{locks} (attribute is written under that lock "
+                        "elsewhere)"
+                    ),
+                    where=f"{access.path}:{access.lineno}",
+                    severity=ERROR,
+                    hint=(
+                        "take the lock around the access, or mark a "
+                        "deliberate lock-free path with "
+                        "# repro-lint: ignore[unguarded-attr] and a "
+                        "justification comment"
+                    ),
+                    key=(
+                        f"analyze/unguarded-attr|{access.relpath}|"
+                        f"{short_owner}.{attr}|{_short_func(access.func)}|"
+                        f"{access.kind}"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+def _lock_order(scans, effective, supp) -> List[Diagnostic]:
+    edges: Dict[Tuple[LockId, LockId], _Acquire] = {}
+    for scan in scans:
+        for acq in scan.acquires:
+            for held in effective(acq.func, acq.held):
+                if held == acq.lock:
+                    continue
+                edges.setdefault((held, acq.lock), acq)
+    diagnostics: List[Diagnostic] = []
+    reported: Set[Tuple[LockId, LockId]] = set()
+    for (a, b), acq in sorted(edges.items()):
+        if (b, a) not in edges or (b, a) in reported:
+            continue
+        reported.add((a, b))
+        other = edges[(b, a)]
+        rule = "analyze/lock-order"
+        table = supp.get(acq.relpath, {})
+        if suppressed(table, rule, acq.lineno, acq.lineno):
+            continue
+        diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                message=(
+                    f"{_short_lock(a)} → {_short_lock(b)} here, but "
+                    f"{_short_lock(b)} → {_short_lock(a)} at "
+                    f"{other.path}:{other.lineno} — inconsistent nesting "
+                    "order can deadlock"
+                ),
+                where=f"{acq.path}:{acq.lineno}",
+                severity=ERROR,
+                hint="pick one global acquisition order and stick to it",
+                key=(
+                    f"analyze/lock-order|{_short_lock(a)}|{_short_lock(b)}"
+                ),
+            )
+        )
+    return diagnostics
+
+
+def _blocking_under_lock(scans, effective, supp) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for scan in scans:
+        table = supp.get(scan.mod.relpath, {})
+        for block in scan.blocking:
+            held = effective(block.func, block.held)
+            if not held:
+                continue
+            rule = "analyze/blocking-under-lock"
+            if suppressed(table, rule, block.lineno, block.end_lineno):
+                continue
+            locks = ", ".join(sorted(_short_lock(h) for h in held))
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule,
+                    message=(
+                        f"blocking call {block.desc} in "
+                        f"{_short_func(block.func)} while holding {locks}"
+                    ),
+                    where=f"{block.path}:{block.lineno}",
+                    severity=ERROR,
+                    hint=(
+                        "move the slow operation outside the critical "
+                        "section (copy state under the lock, then do the "
+                        "work); suppress with "
+                        "# repro-lint: ignore[blocking-under-lock] when "
+                        "the lock exists to serialise exactly this I/O"
+                    ),
+                    key=(
+                        f"analyze/blocking-under-lock|{block.relpath}|"
+                        f"{_short_func(block.func)}|{block.desc}"
+                    ),
+                )
+            )
+    return diagnostics

@@ -1,0 +1,382 @@
+"""Purity / determinism propagation over the call graph.
+
+The planner's contract is that pricing, fingerprinting and serialisation
+are *pure*: bit-identical outputs for identical (graph, mesh, config)
+inputs, in any process, under any ``PYTHONHASHSEED``.  The per-file
+linter enforces this inside a hand-maintained module list
+(``_WALLCLOCK_MODULES``); this pass replaces that list's blind spot —
+the helper two imports away that reads the clock — by propagating taint
+through the interprocedural call graph.
+
+Taint **seeds** (where nondeterminism enters):
+
+* clock reads — ``time.time`` / ``perf_counter`` / ``monotonic`` / …,
+  ``datetime.now`` / ``utcnow`` / ``today``
+* RNG — anything under ``random.``, ``numpy.random.``, ``secrets.``,
+  ``uuid.uuid1/4``
+* ambient state — ``os.environ`` / ``os.getenv``
+* iteration order — a ``set`` expression iterated into ordered output,
+  or unsorted ``dict.items()``/``.keys()``/``.values()`` over a
+  non-literal dict
+
+**Entry points** (what must stay deterministic): every function defined
+in the pricing/fingerprint/serialisation modules (``ENTRY_SUFFIXES``).
+A path from an entry point to a seed is a finding:
+
+* ``analyze/impure-reach`` (error) for clock/RNG/environ seeds, and
+* ``analyze/order-reach`` (warning) for iteration-order seeds — dict
+  order is insertion-deterministic on CPython ≥ 3.7, so these only bite
+  when the insertion order itself was tainted; they are reported for
+  audit, not as CI failures.
+
+Modules under ``obs/`` are **trusted**: observability deliberately
+timestamps spans and metrics, and its return values never feed back
+into pricing results.  Taint neither originates in nor propagates
+through trusted modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..diagnostics import Diagnostic, ERROR, WARNING
+from ..pragmas import suppressed, suppressions
+from .callgraph import FunctionInfo, PackageIndex, flatten_attr
+
+__all__ = [
+    "ENTRY_SUFFIXES",
+    "TRUSTED_PREFIXES",
+    "Seed",
+    "collect_seeds",
+    "run_purity",
+]
+
+#: module suffixes whose functions are determinism roots: anything they
+#: can reach must be a pure function of the plan, the mesh and the
+#: config.  ``simulator/convergence.py`` is deliberately absent — seeded
+#: synthetic curves are its purpose (mirrors the linter's exemption).
+ENTRY_SUFFIXES: Tuple[str, ...] = (
+    "core/cost.py",
+    "core/evaluate.py",
+    "core/columnar.py",
+    "core/packing.py",
+    "core/fingerprint.py",
+    "core/serialize.py",
+    "simulator/engine.py",
+    "simulator/iteration.py",
+    "simulator/memory.py",
+    "simulator/fusion.py",
+    "simulator/trace.py",
+)
+
+#: relpath fragments of modules where clock reads are the *point*
+#: (span/metric timestamps) and never flow back into results.
+TRUSTED_PREFIXES: Tuple[str, ...] = ("obs/",)
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.clock_gettime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_RNG_PREFIXES = ("random.", "numpy.random.", "secrets.")
+_RNG_CALLS = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+_ENV_PREFIXES = ("os.environ",)
+_ENV_CALLS = frozenset({"os.getenv"})
+
+#: callables whose result does not depend on iteration order.
+_ORDER_FREE = frozenset({
+    "sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset",
+})
+
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
+
+
+@dataclass
+class Seed:
+    """One nondeterminism source inside a function body."""
+
+    func: str          # qualname of the containing function
+    kind: str          # clock | rng | environ | set-order | dict-order
+    detail: str        # e.g. "time.perf_counter()"
+    lineno: int
+    end_lineno: int
+
+
+def _is_entry_module(relpath: str, entries: Sequence[str]) -> bool:
+    return any(relpath.endswith(suffix) for suffix in entries)
+
+
+def _is_trusted_module(relpath: str, trusted: Sequence[str]) -> bool:
+    return any(
+        f"/{fragment}" in f"/{relpath}" for fragment in trusted
+    )
+
+
+def _dotted(bindings: Dict[str, str], parts: List[str]) -> str:
+    head = bindings.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])
+
+
+def _is_setlike(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_setlike(node.left) or _is_setlike(node.right)
+    return False
+
+
+def _dict_view_call(node: ast.AST) -> Optional[str]:
+    """``<expr>.items()`` (or keys/values) over a non-literal dict."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEWS
+        and not node.args
+        and not isinstance(node.func.value, (ast.Dict, ast.DictComp))
+    ):
+        return node.func.attr
+    return None
+
+
+class _SeedCollector(ast.NodeVisitor):
+    """Find every taint seed inside one function body."""
+
+    def __init__(self, fn: FunctionInfo, bindings: Dict[str, str]) -> None:
+        self.fn = fn
+        self.bindings = bindings
+        self.seeds: List[Seed] = []
+        self._parents: Dict[ast.AST, ast.AST] = {}
+
+    def run(self) -> List[Seed]:
+        for parent in ast.walk(self.fn.node):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.visit(self.fn.node)
+        return self.seeds
+
+    def _seed(self, kind: str, detail: str, node: ast.AST) -> None:
+        lineno = getattr(node, "lineno", self.fn.lineno)
+        self.seeds.append(
+            Seed(
+                func=self.fn.qualname,
+                kind=kind,
+                detail=detail,
+                lineno=lineno,
+                end_lineno=getattr(node, "end_lineno", None) or lineno,
+            )
+        )
+
+    # -- ambient-state seeds ----------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        parts = flatten_attr(node.func)
+        if parts:
+            dotted = _dotted(self.bindings, parts)
+            if dotted in _CLOCK_CALLS:
+                self._seed("clock", f"{dotted}()", node)
+            elif dotted in _RNG_CALLS or dotted.startswith(_RNG_PREFIXES):
+                self._seed("rng", f"{dotted}()", node)
+            elif dotted in _ENV_CALLS:
+                self._seed("environ", f"{dotted}()", node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        parts = flatten_attr(node)
+        if parts:
+            dotted = _dotted(self.bindings, parts)
+            if dotted.startswith(_ENV_PREFIXES):
+                self._seed("environ", dotted, node)
+                return  # don't double-report nested chains
+        self.generic_visit(node)
+
+    # -- iteration-order seeds --------------------------------------------
+
+    def _check_iter(self, iter_node: ast.AST, context: ast.AST) -> None:
+        if _is_setlike(iter_node):
+            self._seed(
+                "set-order", "set expression iterated into ordered output",
+                context,
+            )
+            return
+        view = _dict_view_call(iter_node)
+        if view is not None:
+            self._seed(
+                "dict-order",
+                f"unsorted dict.{view}() iterated into ordered output",
+                context,
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        if isinstance(node, ast.SetComp):
+            self.generic_visit(node)
+            return  # output itself is unordered — no order leaks
+        if isinstance(node, ast.GeneratorExp):
+            parent = self._parents.get(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_FREE
+            ):
+                self.generic_visit(node)
+                return
+        for gen in node.generators:
+            self._check_iter(gen.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_SetComp = _check_comprehension
+
+
+_KIND_RULES = {
+    "clock": ("analyze/impure-reach", ERROR),
+    "rng": ("analyze/impure-reach", ERROR),
+    "environ": ("analyze/impure-reach", ERROR),
+    "set-order": ("analyze/order-reach", WARNING),
+    "dict-order": ("analyze/order-reach", WARNING),
+}
+
+
+def collect_seeds(
+    index: PackageIndex, trusted: Sequence[str] = TRUSTED_PREFIXES
+) -> List[Seed]:
+    """Every unsuppressed taint seed in the package, by function."""
+    seeds: List[Seed] = []
+    supp_cache: Dict[str, Dict[int, Set[str]]] = {}
+    for mod in index.modules.values():
+        if _is_trusted_module(mod.relpath, trusted):
+            continue
+        table = supp_cache.setdefault(mod.module, suppressions(mod.source))
+        all_bindings = dict(mod.bindings)
+        for fn in list(mod.functions.values()) + [
+            m for cls in mod.classes.values() for m in cls.methods.values()
+        ]:
+            for seed in _SeedCollector(fn, all_bindings).run():
+                rule, _ = _KIND_RULES[seed.kind]
+                if suppressed(table, rule, seed.lineno, seed.end_lineno):
+                    continue
+                seeds.append(seed)
+    return seeds
+
+
+def run_purity(
+    index: PackageIndex,
+    *,
+    entries: Sequence[str] = ENTRY_SUFFIXES,
+    trusted: Sequence[str] = TRUSTED_PREFIXES,
+) -> List[Diagnostic]:
+    """Flag every entry-point → taint-seed path in the call graph.
+
+    One diagnostic per seed site, anchored at the seed with the nearest
+    entry point's call chain in the message — fixing the seed (or
+    pragma-ing it) clears every path through it at once.
+    """
+    trusted_funcs: Set[str] = set()
+    entry_funcs: Set[str] = set()
+    for mod in index.modules.values():
+        names = [fn.qualname for fn in mod.functions.values()]
+        names += [
+            m.qualname
+            for cls in mod.classes.values()
+            for m in cls.methods.values()
+        ]
+        if _is_trusted_module(mod.relpath, trusted):
+            trusted_funcs.update(names)
+        if _is_entry_module(mod.relpath, entries):
+            entry_funcs.update(names)
+
+    seeds = collect_seeds(index, trusted)
+    by_func: Dict[str, List[Seed]] = {}
+    for seed in seeds:
+        by_func.setdefault(seed.func, []).append(seed)
+
+    diagnostics: List[Diagnostic] = []
+    for func in sorted(by_func):
+        chain = _nearest_entry_chain(
+            index, func, entry_funcs, trusted_funcs
+        )
+        if chain is None:
+            continue
+        mod = index.modules.get(index.functions[func].module)
+        relpath = mod.relpath if mod else ""
+        path = mod.path if mod else ""
+        for seed in by_func[func]:
+            rule, severity = _KIND_RULES[seed.kind]
+            via = " -> ".join(_short(index, q) for q in chain)
+            message = (
+                f"{seed.detail} is reachable from deterministic entry "
+                f"point {_short(index, chain[0])}"
+            )
+            if len(chain) > 1:
+                message += f" via {via}"
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule,
+                    message=message,
+                    where=f"{path}:{seed.lineno}",
+                    severity=severity,
+                    hint=(
+                        "pricing/fingerprint code must be a pure function "
+                        "of its inputs; hoist the read to the caller, or "
+                        f"suppress with # repro-lint: ignore[{rule.split('/')[1]}] "
+                        "if the value provably never reaches a result"
+                    ),
+                    key=f"{rule}|{relpath}|{func}|{seed.detail}",
+                )
+            )
+    return diagnostics
+
+
+def _short(index: PackageIndex, qualname: str) -> str:
+    """Trim the root package off a qualname for readable chains."""
+    root = qualname.split(".", 1)
+    return root[1] if len(root) == 2 else qualname
+
+
+def _nearest_entry_chain(
+    index: PackageIndex,
+    seed_func: str,
+    entry_funcs: Set[str],
+    trusted_funcs: Set[str],
+) -> Optional[List[str]]:
+    """Shortest entry→seed call chain (BFS on reverse edges), or None."""
+    if seed_func in trusted_funcs:
+        return None
+    if seed_func in entry_funcs:
+        return [seed_func]
+    parents: Dict[str, str] = {seed_func: seed_func}
+    frontier = [seed_func]
+    while frontier:
+        nxt: List[str] = []
+        for node in frontier:
+            for caller in sorted(index.redges.get(node, ())):
+                if caller in parents or caller in trusted_funcs:
+                    continue
+                parents[caller] = node
+                if caller in entry_funcs:
+                    chain = [caller]
+                    while chain[-1] != seed_func:
+                        chain.append(parents[chain[-1]])
+                    return chain
+                nxt.append(caller)
+        frontier = nxt
+    return None

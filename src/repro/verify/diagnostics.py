@@ -34,6 +34,9 @@ class Diagnostic:
     where: str = ""           # GraphNode path or file:line
     severity: str = ERROR
     hint: str = ""            # how to fix it
+    #: stable identity for baseline matching — no line numbers, so a
+    #: finding keeps its key while unrelated edits shift the file.
+    key: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in (ERROR, WARNING):
@@ -43,6 +46,17 @@ class Diagnostic:
         loc = f"{self.where}: " if self.where else ""
         hint = f"  (hint: {self.hint})" if self.hint else ""
         return f"{self.severity}[{self.rule}] {loc}{self.message}{hint}"
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the ``--format json`` record shape)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "where": self.where,
+            "message": self.message,
+            "hint": self.hint,
+            "key": self.key,
+        }
 
 
 class PlanVerificationError(ValueError):

@@ -49,9 +49,10 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional
 
 from .diagnostics import Diagnostic
+from .pragmas import suppressed, suppressions
 
 __all__ = ["LINT_RULES", "lint_source", "lint_paths"]
 
@@ -69,16 +70,18 @@ LINT_RULES: Dict[str, str] = {
     "columnar arrays reintroduce the per-node floor the tier removes",
 }
 
-_PRAGMA = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
-
 #: modules where wall-clock/random reads are forbidden (pricing and
 #: simulation must be pure).  convergence.py is deliberately absent: seeded
-#: synthetic curves are its purpose.
+#: synthetic curves are its purpose.  fingerprint/serialize are here
+#: because plan cache keys and envelopes must be byte-identical across
+#: processes — a timestamp in either poisons the persistent cache.
 _WALLCLOCK_MODULES = (
     "core/columnar.py",
     "core/cost.py",
     "core/evaluate.py",
+    "core/fingerprint.py",
     "core/packing.py",
+    "core/serialize.py",
     "simulator/engine.py",
     "simulator/iteration.py",
     "simulator/memory.py",
@@ -137,21 +140,6 @@ def _columnar_iterable(node: ast.AST) -> bool:
     return False
 
 
-def _suppressions(source: str) -> Dict[int, Set[str]]:
-    """line number → rule names suppressed on that line."""
-    out: Dict[int, Set[str]] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA.search(line)
-        if m:
-            rules = {
-                r.strip().removeprefix("lint/")
-                for r in m.group(1).split(",")
-                if r.strip()
-            }
-            out[i] = rules
-    return out
-
-
 def _is_setlike(node: ast.AST) -> bool:
     if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
         return True
@@ -186,7 +174,7 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source: str) -> None:
         self.path = _norm(path)
         self.diagnostics: List[Diagnostic] = []
-        self._suppressed = _suppressions(source)
+        self._suppressed = suppressions(source)
         self._parents: Dict[ast.AST, ast.AST] = {}
         self._fn_stack: List[str] = []
         self._scoped = _in_core_or_simulator(self.path)
@@ -204,10 +192,8 @@ class _Linter(ast.NodeVisitor):
     def _flag(self, rule: str, node: ast.AST, message: str, hint: str = "") -> None:
         lineno = getattr(node, "lineno", 0)
         end = getattr(node, "end_lineno", None) or lineno
-        short = rule.removeprefix("lint/")
-        for line in range(lineno, end + 1):
-            if short in self._suppressed.get(line, ()):
-                return
+        if suppressed(self._suppressed, rule, lineno, end):
+            return
         self.diagnostics.append(
             Diagnostic(
                 rule=rule,

@@ -1,0 +1,76 @@
+"""Render diagnostics in the three CLI output formats.
+
+``text`` is the human form (``Diagnostic.format()``).  ``json`` is one
+machine-readable document for tooling and the CI report artifact.
+``github`` emits GitHub Actions workflow commands — ``::error`` /
+``::warning`` lines with ``file=``/``line=`` properties — so findings
+show up as inline annotations on the pull request diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from .diagnostics import Diagnostic, ERROR
+
+__all__ = ["FORMATS", "format_diagnostics", "split_where"]
+
+FORMATS = ("text", "json", "github")
+
+
+def split_where(where: str) -> Tuple[str, Optional[int]]:
+    """``path:123`` → ``("path", 123)``; plain locations get line None."""
+    path, sep, line = where.rpartition(":")
+    if sep and line.isdigit():
+        return path, int(line)
+    return where, None
+
+
+def _github_escape(value: str) -> str:
+    # workflow-command data: %, CR and LF must be %-escaped
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _github_line(diag: Diagnostic) -> str:
+    level = "error" if diag.severity == ERROR else "warning"
+    path, line = split_where(diag.where)
+    props = []
+    if path:
+        props.append(f"file={_github_escape(path)}")
+    if line is not None:
+        props.append(f"line={line}")
+    props.append(f"title={_github_escape(diag.rule)}")
+    message = diag.message
+    if diag.hint:
+        message = f"{message} (hint: {diag.hint})"
+    return f"::{level} {','.join(props)}::{_github_escape(message)}"
+
+
+def format_diagnostics(
+    diagnostics: Sequence[Diagnostic], fmt: str = "text"
+) -> List[str]:
+    """Render *diagnostics* as output lines for the chosen format.
+
+    ``json`` returns a single line holding the whole document so callers
+    can pipe it to a file; the document carries a summary block with
+    error/warning counts.
+    """
+    if fmt == "text":
+        return [d.format() for d in diagnostics]
+    if fmt == "github":
+        return [_github_line(d) for d in diagnostics]
+    if fmt == "json":
+        errors = sum(1 for d in diagnostics if d.severity == ERROR)
+        doc = {
+            "diagnostics": [d.as_dict() for d in diagnostics],
+            "summary": {
+                "total": len(diagnostics),
+                "errors": errors,
+                "warnings": len(diagnostics) - errors,
+            },
+        }
+        return [json.dumps(doc, indent=2)]
+    raise ValueError(f"unknown format {fmt!r} (expected one of {FORMATS})")

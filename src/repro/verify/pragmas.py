@@ -1,0 +1,51 @@
+"""The ``# repro-lint: ignore[...]`` suppression pragma, shared by the
+per-file linter (:mod:`repro.verify.lint`) and the interprocedural
+analyzer (:mod:`repro.verify.analyze`).
+
+A pragma names one or more rules (comma-separated); the bare rule name
+and its ``lint/``- or ``analyze/``-prefixed form both match.  Suppression
+applies to every line the flagged statement spans, so a pragma on any
+line of a multi-line statement silences findings anchored anywhere in
+that statement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+__all__ = ["PRAGMA", "short_rule", "suppressions", "suppressed"]
+
+PRAGMA = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+def short_rule(rule: str) -> str:
+    """Strip the ``lint/`` / ``analyze/`` namespace off a rule id."""
+    for prefix in ("lint/", "analyze/"):
+        if rule.startswith(prefix):
+            return rule[len(prefix):]
+    return rule
+
+
+def suppressions(source: str) -> Dict[int, Set[str]]:
+    """line number → short rule names suppressed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = PRAGMA.search(line)
+        if m:
+            out[i] = {
+                short_rule(r.strip())
+                for r in m.group(1).split(",")
+                if r.strip()
+            }
+    return out
+
+
+def suppressed(
+    table: Dict[int, Set[str]], rule: str, lineno: int, end_lineno: int
+) -> bool:
+    """Is *rule* suppressed anywhere in the span ``lineno..end_lineno``?"""
+    short = short_rule(rule)
+    return any(
+        short in table.get(line, ()) for line in range(lineno, end_lineno + 1)
+    )

@@ -1,0 +1,35 @@
+"""Shared fixtures for the verify test suite."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def make_pkg(tmp_path):
+    """Materialize ``{relpath: source}`` as a package tree on disk.
+
+    Writes the files under ``tmp_path/pkg``, dedenting each source, and
+    drops an ``__init__.py`` into every directory so the analyzer's
+    package-root detection sees one coherent package named ``pkg``.
+    Returns the package root path (pass it to ``analyze_paths``).
+    """
+
+    def _make(files, name="pkg"):
+        root = tmp_path / name
+        dirs = {root}
+        for rel, src in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(textwrap.dedent(src))
+            d = p.parent
+            while d != tmp_path:
+                dirs.add(d)
+                d = d.parent
+        for d in dirs:
+            init = d / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        return root
+
+    return _make

@@ -1,0 +1,371 @@
+"""Lockset analysis: guarded attrs, lock order, blocking under lock."""
+
+from repro.verify.analyze import analyze_paths
+
+
+def run(make_pkg, files, **overrides):
+    return analyze_paths([make_pkg(files)], **overrides)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+SERVICE = "service/planner.py"  # inside the default lockset scope
+
+
+class TestUnguardedAttr:
+    def test_unguarded_write_is_flagged(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    self._count = 0
+            """,
+        })
+        hits = [d for d in diags if d.rule == "analyze/unguarded-attr"]
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert "Service._count" in hits[0].message
+        assert "reset" in hits[0].message
+
+    def test_unguarded_read_is_flagged(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count
+            """,
+        })
+        assert "analyze/unguarded-attr" in rules(diags)
+
+    def test_init_writes_are_exempt(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+            """,
+        })
+        assert "analyze/unguarded-attr" not in rules(diags)
+
+    def test_never_locked_attr_is_not_guarded(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._free = 0
+
+                def a(self):
+                    self._free += 1
+
+                def b(self):
+                    return self._free
+            """,
+        })
+        assert "analyze/unguarded-attr" not in rules(diags)
+
+    def test_mutating_method_counts_as_write(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = []
+
+                def push(self, item):
+                    with self._lock:
+                        self._queue.append(item)
+
+                def drain(self):
+                    self._queue.clear()
+            """,
+        })
+        hits = [d for d in diags if d.rule == "analyze/unguarded-attr"]
+        assert any("drain" in d.message for d in hits)
+
+    def test_helper_called_under_lock_inherits_it(self, make_pkg):
+        """Interprocedural: _insert writes with no lexical lock, but every
+        call site holds it — the PlanCache pattern must stay clean."""
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._table = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._insert(k, v)
+
+                def put_many(self, pairs):
+                    with self._lock:
+                        for k, v in pairs:
+                            self._insert(k, v)
+
+                def _insert(self, k, v):
+                    self._table[k] = v
+            """,
+        })
+        assert "analyze/unguarded-attr" not in rules(diags)
+
+    def test_helper_with_one_bare_call_site_is_flagged(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._table = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._insert(k, v)
+
+                def put_fast(self, k, v):
+                    self._insert(k, v)
+
+                def _insert(self, k, v):
+                    self._table[k] = v
+            """,
+        })
+        assert "analyze/unguarded-attr" in rules(diags)
+
+    def test_module_global_under_module_lock(self, make_pkg):
+        """The obs.trace pattern: globals flipped under _LOCK, read bare."""
+        diags = run(make_pkg, {
+            "obs/trace.py": """
+            import threading
+
+            _LOCK = threading.Lock()
+            _ENABLED = False
+
+            def enable():
+                global _ENABLED
+                with _LOCK:
+                    _ENABLED = True
+
+            def enabled():
+                return _ENABLED
+            """,
+        })
+        hits = [d for d in diags if d.rule == "analyze/unguarded-attr"]
+        assert len(hits) == 1
+        assert "_ENABLED" in hits[0].message
+
+    def test_out_of_scope_module_is_ignored(self, make_pkg):
+        diags = run(make_pkg, {
+            "models/builder.py": """
+            import threading
+
+            class Builder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    self._count = 0
+            """,
+        })
+        assert "analyze/unguarded-attr" not in rules(diags)
+
+    def test_pragma_suppresses(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def peek(self):
+                    return self._count  # repro-lint: ignore[unguarded-attr]
+            """,
+        })
+        assert "analyze/unguarded-attr" not in rules(diags)
+
+
+class TestLockOrder:
+    def test_ab_ba_nesting_is_flagged(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._graphs_lock = threading.Lock()
+
+                def forward(self):
+                    with self._lock:
+                        with self._graphs_lock:
+                            return 1
+
+                def backward(self):
+                    with self._graphs_lock:
+                        with self._lock:
+                            return 2
+            """,
+        })
+        hits = [d for d in diags if d.rule == "analyze/lock-order"]
+        assert len(hits) == 1
+        assert "deadlock" in hits[0].message
+
+    def test_consistent_nesting_is_clean(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._graphs_lock = threading.Lock()
+
+                def forward(self):
+                    with self._lock:
+                        with self._graphs_lock:
+                            return 1
+
+                def also_forward(self):
+                    with self._lock:
+                        with self._graphs_lock:
+                            return 2
+            """,
+        })
+        assert "analyze/lock-order" not in rules(diags)
+
+
+class TestBlockingUnderLock:
+    def test_future_result_under_lock(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def wait_for(self, future):
+                    with self._lock:
+                        return future.result()
+            """,
+        })
+        hits = [d for d in diags if d.rule == "analyze/blocking-under-lock"]
+        assert len(hits) == 1
+        assert ".result()" in hits[0].message
+
+    def test_disk_io_under_lock(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def load(self, path):
+                    with self._lock:
+                        return path.read_text()
+            """,
+        })
+        assert "analyze/blocking-under-lock" in rules(diags)
+
+    def test_sleep_under_lock_via_alias(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+            import time as clock
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def nap(self):
+                    with self._lock:
+                        clock.sleep(0.1)
+            """,
+        })
+        assert "analyze/blocking-under-lock" in rules(diags)
+
+    def test_blocking_outside_lock_is_clean(self, make_pkg):
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._last = None
+
+                def wait_for(self, future):
+                    with self._lock:
+                        pending = self._last
+                    return future.result()
+            """,
+        })
+        assert "analyze/blocking-under-lock" not in rules(diags)
+
+    def test_inherited_lock_context_counts(self, make_pkg):
+        """A helper whose every call site holds the lock is blocking
+        under it even with no lexical with-statement of its own."""
+        diags = run(make_pkg, {
+            SERVICE: """
+            import threading
+
+            class Service:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def refresh(self, path):
+                    with self._lock:
+                        return self._reload(path)
+
+                def _reload(self, path):
+                    return path.read_text()
+            """,
+        })
+        assert "analyze/blocking-under-lock" in rules(diags)

@@ -1,0 +1,193 @@
+"""Purity propagation: taint seeds, reachability, trusted modules."""
+
+from repro.verify.analyze import analyze_paths
+
+
+def run(make_pkg, files, **overrides):
+    return analyze_paths([make_pkg(files)], **overrides)
+
+
+def rules(diags):
+    return {d.rule for d in diags}
+
+
+class TestClockReachability:
+    def test_planted_clock_behind_helper_is_caught(self, make_pkg):
+        """The headline case: core/cost.py itself is clean (the per-file
+        linter sees nothing), but a helper it calls reads the clock."""
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            from .util import stamp
+
+            def estimate(plan):
+                return stamp() + 1
+            """,
+            "core/util.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        })
+        impure = [d for d in diags if d.rule == "analyze/impure-reach"]
+        assert len(impure) == 1
+        assert impure[0].severity == "error"
+        # anchored at the seed, names the entry and the chain
+        assert "core/util.py" in impure[0].where
+        assert "time.time()" in impure[0].message
+        assert "core.cost.estimate" in impure[0].message
+
+    def test_clock_unreachable_from_entries_is_silent(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            def estimate(plan):
+                return 1
+            """,
+            "tools/report.py": """
+            import time
+
+            def banner():
+                return time.time()
+            """,
+        })
+        assert "analyze/impure-reach" not in rules(diags)
+
+    def test_clock_in_entry_module_itself_is_caught(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            import time
+
+            def estimate(plan):
+                return time.perf_counter()
+            """,
+        })
+        assert "analyze/impure-reach" in rules(diags)
+
+    def test_aliased_from_import_is_seen(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            from time import perf_counter as tick
+
+            def estimate(plan):
+                return tick()
+            """,
+        })
+        assert "analyze/impure-reach" in rules(diags)
+
+
+class TestOtherSeeds:
+    def test_rng_read(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            import random
+
+            def estimate(plan):
+                return random.random()
+            """,
+        })
+        assert "analyze/impure-reach" in rules(diags)
+
+    def test_environ_read(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            import os
+
+            def estimate(plan):
+                return os.environ.get("TUNE", "0")
+            """,
+        })
+        assert "analyze/impure-reach" in rules(diags)
+
+    def test_dict_items_is_order_warning_not_error(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            def estimate(plans):
+                return [v for k, v in plans.items()]
+            """,
+        })
+        order = [d for d in diags if d.rule == "analyze/order-reach"]
+        assert order and all(d.severity == "warning" for d in order)
+
+    def test_sorted_dict_items_is_clean(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            def estimate(plans):
+                return [v for k, v in sorted(plans.items())]
+            """,
+        })
+        assert "analyze/order-reach" not in rules(diags)
+
+
+class TestTrustedModules:
+    def test_obs_clock_reads_do_not_taint_callers(self, make_pkg):
+        """Instrumentation reads clocks on purpose; pricing code calling
+        into obs/ must not light up as impure."""
+        diags = run(make_pkg, {
+            "obs/metrics.py": """
+            import time
+
+            def counter(name):
+                return time.perf_counter()
+            """,
+            "core/cost.py": """
+            from ..obs.metrics import counter
+
+            def estimate(plan):
+                counter("estimates")
+                return 1
+            """,
+        })
+        assert "analyze/impure-reach" not in rules(diags)
+
+    def test_taint_does_not_propagate_through_obs(self, make_pkg):
+        """obs/ is trusted as a *barrier* too: an entry → obs → clock
+        chain stays silent, an entry → helper → clock chain does not."""
+        diags = run(make_pkg, {
+            "obs/bridge.py": """
+            from ..tools.deep import now
+
+            def relay():
+                return now()
+            """,
+            "tools/deep.py": """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            "core/cost.py": """
+            from ..obs.bridge import relay
+
+            def estimate(plan):
+                return relay()
+            """,
+        })
+        assert "analyze/impure-reach" not in rules(diags)
+
+
+class TestSuppression:
+    def test_pragma_silences_the_seed(self, make_pkg):
+        diags = run(make_pkg, {
+            "core/cost.py": """
+            import time
+
+            def estimate(plan):
+                return time.time()  # repro-lint: ignore[impure-reach]
+            """,
+        })
+        assert "analyze/impure-reach" not in rules(diags)
+
+    def test_custom_entry_override(self, make_pkg):
+        diags = run(
+            make_pkg,
+            {
+                "special.py": """
+                import time
+
+                def go():
+                    return time.time()
+                """,
+            },
+            entries=("special.py",),
+        )
+        assert "analyze/impure-reach" in rules(diags)

@@ -1,0 +1,125 @@
+"""The analyzer against the real tree: clean today, loud when seeded.
+
+Three contracts:
+
+* the committed baseline exactly covers the repo's current findings
+  (no new errors, no stale baseline entries going unused);
+* a *planted* nondeterminism bug — a clock read reachable from
+  ``core/cost.py`` through a helper module — is caught, which the
+  per-file linter structurally cannot do;
+* a *planted* unguarded write to a lock-guarded ``PlannerService``
+  attribute is caught.
+
+The planted variants run on a copy of the real tree so resolution goes
+through the genuine import graph, not a toy fixture.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.verify.analyze import (
+    analyze_paths,
+    apply_baseline,
+    default_baseline_path,
+    load_baseline,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def analyze_repo(root=REPO_SRC):
+    return analyze_paths([root])
+
+
+@pytest.fixture
+def repo_copy(tmp_path):
+    dst = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, dst)
+    return dst
+
+
+class TestRepoIsClean:
+    def test_no_error_findings(self):
+        errors = [d for d in analyze_repo() if d.severity == "error"]
+        assert errors == [], "\n".join(d.format() for d in errors)
+
+    def test_baseline_exactly_covers_current_findings(self):
+        diags = analyze_repo()
+        baseline = load_baseline(default_baseline_path())
+        fresh, matched = apply_baseline(diags, baseline)
+        assert fresh == [], "\n".join(d.format() for d in fresh)
+        # every baselined entry is still exercised — stale entries would
+        # quietly shrink coverage
+        assert matched == sum(baseline.values())
+
+    def test_full_tree_analysis_is_fast(self):
+        t0 = time.perf_counter()
+        analyze_repo()
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0, f"analyzer took {elapsed:.1f}s on src/repro"
+
+
+class TestPlantedImpurity:
+    def test_clock_behind_helper_reachable_from_cost(self, repo_copy):
+        (repo_copy / "core" / "_planted_helper.py").write_text(
+            "import time\n\n\ndef newest_stamp():\n"
+            "    return time.time()\n"
+        )
+        cost = repo_copy / "core" / "cost.py"
+        cost.write_text(
+            cost.read_text()
+            + "\n\nfrom ._planted_helper import newest_stamp\n\n\n"
+            "def _planted_entry():\n    return newest_stamp()\n"
+        )
+        diags = analyze_paths([repo_copy])
+        hits = [
+            d
+            for d in diags
+            if d.rule == "analyze/impure-reach"
+            and "_planted_helper" in d.where
+        ]
+        assert len(hits) == 1
+        assert "time.time()" in hits[0].message
+        assert "cost._planted_entry" in hits[0].message
+
+    def test_clock_planted_in_fingerprint_module(self, repo_copy):
+        """core/fingerprint.py is an analyzer entry point: a timestamp in
+        cache-key code would poison the persistent plan cache."""
+        fp = repo_copy / "core" / "fingerprint.py"
+        fp.write_text(
+            fp.read_text()
+            + "\n\nimport time\n\n\ndef _planted_salt():\n"
+            "    return time.time()\n"
+        )
+        diags = analyze_paths([repo_copy])
+        assert any(
+            d.rule == "analyze/impure-reach" and "fingerprint" in d.where
+            for d in diags
+        )
+
+
+class TestPlantedRace:
+    def test_unguarded_planner_service_write(self, repo_copy):
+        planner = repo_copy / "service" / "planner.py"
+        src = planner.read_text()
+        marker = "    def close(self"
+        assert marker in src, "PlannerService.close moved; update the test"
+        planted = (
+            "    def _planted_reset(self):\n"
+            "        self._counters[\"requests\"] = 0\n\n"
+        )
+        planner.write_text(src.replace(marker, planted + marker, 1))
+        diags = analyze_paths([repo_copy])
+        hits = [
+            d
+            for d in diags
+            if d.rule == "analyze/unguarded-attr"
+            and "_planted_reset" in d.message
+        ]
+        assert len(hits) == 1
+        assert hits[0].severity == "error"
+        assert "PlannerService._counters" in hits[0].message
+        assert "_lock" in hits[0].message

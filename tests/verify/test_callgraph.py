@@ -1,0 +1,198 @@
+"""Call-graph construction: bindings, re-exports, methods, dispatch."""
+
+from repro.verify.analyze import index_paths
+from repro.verify.analyze.callgraph import DISPATCH_DENYLIST
+
+
+def index_of(make_pkg, files):
+    return index_paths([make_pkg(files)])
+
+
+class TestModuleNaming:
+    def test_modules_and_functions_indexed(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "core/cost.py": """
+            def price(x):
+                return x
+            """,
+        })
+        assert "pkg.core.cost" in idx.modules
+        assert "pkg.core.cost.price" in idx.functions
+
+    def test_syntax_error_file_skipped(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "good.py": "def f():\n    return 1\n",
+            "bad.py": "def broken(:\n",
+        })
+        assert "pkg.good" in idx.modules
+        assert "pkg.bad" not in idx.modules
+
+
+class TestImportResolution:
+    def test_absolute_from_import(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "a.py": """
+            def helper():
+                return 1
+            """,
+            "b.py": """
+            from pkg.a import helper
+
+            def caller():
+                return helper()
+            """,
+        })
+        assert "pkg.a.helper" in idx.edges["pkg.b.caller"]
+
+    def test_relative_import(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "core/util.py": """
+            def helper():
+                return 1
+            """,
+            "core/cost.py": """
+            from .util import helper
+
+            def price():
+                return helper()
+            """,
+        })
+        assert "pkg.core.util.helper" in idx.edges["pkg.core.cost.price"]
+
+    def test_import_module_attribute_call(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "a.py": """
+            def helper():
+                return 1
+            """,
+            "b.py": """
+            from pkg import a
+
+            def caller():
+                return a.helper()
+            """,
+        })
+        assert "pkg.a.helper" in idx.edges["pkg.b.caller"]
+
+    def test_reexport_through_init(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "core/__init__.py": """
+            from .cost import price
+            """,
+            "core/cost.py": """
+            def price():
+                return 1
+            """,
+            "user.py": """
+            from pkg.core import price
+
+            def caller():
+                return price()
+            """,
+        })
+        assert "pkg.core.cost.price" in idx.edges["pkg.user.caller"]
+
+
+class TestMethodResolution:
+    def test_self_method_resolves(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "m.py": """
+            class Model:
+                def outer(self):
+                    return self.inner()
+
+                def inner(self):
+                    return 1
+            """,
+        })
+        assert "pkg.m.Model.inner" in idx.edges["pkg.m.Model.outer"]
+
+    def test_self_method_through_base_class(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "base.py": """
+            class Base:
+                def shared(self):
+                    return 1
+            """,
+            "child.py": """
+            from pkg.base import Base
+
+            class Child(Base):
+                def outer(self):
+                    return self.shared()
+            """,
+        })
+        assert "pkg.base.Base.shared" in idx.edges["pkg.child.Child.outer"]
+
+    def test_class_construction_links_init(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "m.py": """
+            class Widget:
+                def __init__(self):
+                    self.x = 1
+
+            def build():
+                return Widget()
+            """,
+        })
+        assert "pkg.m.Widget.__init__" in idx.edges["pkg.m.build"]
+
+
+class TestDispatch:
+    def test_unknown_receiver_dispatches_by_name(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "m.py": """
+            class Pricer:
+                def price_batch(self):
+                    return 1
+
+            def run(obj):
+                return obj.price_batch()
+            """,
+        })
+        assert "pkg.m.Pricer.price_batch" in idx.edges["pkg.m.run"]
+
+    def test_denylisted_names_do_not_dispatch(self, make_pkg):
+        assert "get" in DISPATCH_DENYLIST
+        idx = index_of(make_pkg, {
+            "m.py": """
+            class Store:
+                def get(self):
+                    return 1
+
+            def run(obj):
+                return obj.get()
+            """,
+        })
+        assert "pkg.m.Store.get" not in idx.edges["pkg.m.run"]
+
+
+class TestTraversal:
+    def test_shortest_path_spans_modules(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "a.py": """
+            def deep():
+                return 1
+            """,
+            "b.py": """
+            from pkg.a import deep
+
+            def mid():
+                return deep()
+            """,
+            "c.py": """
+            from pkg.b import mid
+
+            def top():
+                return mid()
+            """,
+        })
+        path = idx.shortest_path("pkg.c.top", "pkg.a.deep")
+        assert path == ["pkg.c.top", "pkg.b.mid", "pkg.a.deep"]
+
+    def test_unreachable_returns_none(self, make_pkg):
+        idx = index_of(make_pkg, {
+            "a.py": "def f():\n    return 1\n",
+            "b.py": "def g():\n    return 2\n",
+        })
+        assert idx.shortest_path("pkg.a.f", "pkg.b.g") is None

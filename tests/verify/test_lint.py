@@ -239,3 +239,30 @@ class TestHarness:
         assert src.is_dir()
         diags = lint_paths([str(src)])
         assert diags == [], [d.format() for d in diags]
+
+
+class TestWallclockScopeCoversCacheKeyModules:
+    """fingerprint.py and serialize.py feed the persistent plan cache:
+    a timestamp in either poisons keys or envelopes across processes."""
+
+    def test_planted_clock_in_fingerprint_is_caught(self):
+        src = """
+        import time
+
+        def salt():
+            return time.time()
+        """
+        assert "lint/wallclock" in rules(
+            lint(src, "src/repro/core/fingerprint.py")
+        )
+
+    def test_planted_clock_in_serialize_is_caught(self):
+        src = """
+        import time
+
+        def created():
+            return time.time()
+        """
+        assert "lint/wallclock" in rules(
+            lint(src, "src/repro/core/serialize.py")
+        )

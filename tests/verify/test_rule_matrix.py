@@ -1,0 +1,261 @@
+"""Every published rule fires on a positive fixture, stays silent on a
+negative one — so no rule id in LINT_RULES / ANALYZE_RULES is dead
+documentation, and every one respects the suppression pragma."""
+
+import textwrap
+
+import pytest
+
+from repro.verify import ANALYZE_RULES, LINT_RULES, lint_source
+from repro.verify.analyze import analyze_paths
+
+# rule id → (path, positive source, negative source)
+LINT_MATRIX = {
+    "lint/frozen-setattr": (
+        "src/repro/models/m.py",
+        """
+        def rename(self, value):
+            object.__setattr__(self, "name", value)
+        """,
+        """
+        def __post_init__(self):
+            object.__setattr__(self, "name", "x")
+        """,
+    ),
+    "lint/cache-key": (
+        "src/repro/core/m.py",
+        """
+        def lookup(cache, shard):
+            return cache[(id(shard), 4)]
+        """,
+        """
+        def lookup(cache, shard):
+            return cache[(shard.fingerprint, 4)]
+        """,
+    ),
+    "lint/set-order": (
+        "src/repro/core/m.py",
+        """
+        def order(nodes):
+            return [n for n in {x.name for x in nodes}]
+        """,
+        """
+        def order(nodes):
+            return sorted({x.name for x in nodes})
+        """,
+    ),
+    "lint/wallclock": (
+        "src/repro/core/cost.py",
+        """
+        import time
+
+        def estimate():
+            return time.perf_counter()
+        """,
+        """
+        def estimate(elapsed):
+            return elapsed * 2
+        """,
+    ),
+    "lint/columnar-scalar-loop": (
+        "src/repro/core/columnar.py",
+        """
+        def total(costmat):
+            return [row * 2 for row in costmat]
+        """,
+        """
+        def total(costmat):
+            return costmat.sum()
+        """,
+    ),
+}
+
+# rule id → (relpath, positive source, negative source)
+ANALYZE_MATRIX = {
+    "analyze/impure-reach": (
+        "core/cost.py",
+        """
+        import time
+
+        def estimate():
+            return time.time()
+        """,
+        """
+        def estimate(stamp):
+            return stamp + 1
+        """,
+    ),
+    "analyze/order-reach": (
+        "core/cost.py",
+        """
+        def estimate(plans):
+            return [v for v in plans.values()]
+        """,
+        """
+        def estimate(plans):
+            return [v for _, v in sorted(plans.items())]
+        """,
+    ),
+    "analyze/unguarded-attr": (
+        "service/svc.py",
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._n += 1
+
+            def reset(self):
+                self._n = 0
+        """,
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def bump(self):
+                with self._lock:
+                    self._n += 1
+
+            def reset(self):
+                with self._lock:
+                    self._n = 0
+        """,
+    ),
+    "analyze/lock-order": (
+        "service/svc.py",
+        """
+        import threading
+
+        A = threading.Lock()
+        B = threading.Lock()
+
+        def fwd():
+            with A:
+                with B:
+                    return 1
+
+        def bwd():
+            with B:
+                with A:
+                    return 2
+        """,
+        """
+        import threading
+
+        A = threading.Lock()
+        B = threading.Lock()
+
+        def fwd():
+            with A:
+                with B:
+                    return 1
+
+        def fwd2():
+            with A:
+                with B:
+                    return 2
+        """,
+    ),
+    "analyze/blocking-under-lock": (
+        "service/svc.py",
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def wait(self, fut):
+                with self._lock:
+                    return fut.result()
+        """,
+        """
+        import threading
+
+        class Svc:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def wait(self, fut):
+                return fut.result()
+        """,
+    ),
+}
+
+
+def test_matrices_cover_every_published_rule():
+    assert set(LINT_MATRIX) == set(LINT_RULES)
+    assert set(ANALYZE_MATRIX) == set(ANALYZE_RULES)
+
+
+@pytest.mark.parametrize("rule", sorted(LINT_MATRIX))
+def test_lint_rule_fires_and_stays_silent(rule):
+    path, positive, negative = LINT_MATRIX[rule]
+    fired = {d.rule for d in lint_source(textwrap.dedent(positive), path)}
+    assert rule in fired
+    silent = {d.rule for d in lint_source(textwrap.dedent(negative), path)}
+    assert rule not in silent
+
+
+@pytest.mark.parametrize("rule", sorted(ANALYZE_MATRIX))
+def test_analyze_rule_fires_and_stays_silent(rule, make_pkg):
+    relpath, positive, negative = ANALYZE_MATRIX[rule]
+    fired = {d.rule for d in analyze_paths(
+        [make_pkg({relpath: positive}, name="pos")]
+    )}
+    assert rule in fired
+    silent = {d.rule for d in analyze_paths(
+        [make_pkg({relpath: negative}, name="neg")]
+    )}
+    assert rule not in silent
+
+
+@pytest.mark.parametrize("rule", sorted(LINT_MATRIX))
+def test_lint_rule_respects_pragma(rule):
+    path, positive, _ = LINT_MATRIX[rule]
+    short = rule.split("/", 1)[1]
+    lines = textwrap.dedent(positive).splitlines()
+    tagged = "\n".join(f"{ln}  # repro-lint: ignore[{short}]" for ln in lines)
+    assert not any(
+        d.rule == rule for d in lint_source(tagged, path)
+    )
+
+
+class TestMultiLinePragma:
+    def test_lint_pragma_on_any_line_of_statement(self):
+        src = textwrap.dedent("""
+        def order(nodes):
+            return [
+                n
+                for n in {x.name for x in nodes}  # repro-lint: ignore[set-order]
+            ]
+        """)
+        assert not any(
+            d.rule == "lint/set-order"
+            for d in lint_source(src, "src/repro/core/m.py")
+        )
+
+    def test_analyze_pragma_on_any_line_of_statement(self, make_pkg):
+        root = make_pkg({
+            "core/cost.py": """
+            import time
+
+            def estimate():
+                return (
+                    time.time()  # repro-lint: ignore[impure-reach]
+                    + 1
+                )
+            """,
+        })
+        assert not any(
+            d.rule == "analyze/impure-reach" for d in analyze_paths([root])
+        )
