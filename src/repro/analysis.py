@@ -29,6 +29,7 @@ from .core import (
     ShardingPlan,
     derive_plan,
     route_plan,
+    what_if_profiles,
 )
 from .simulator import memory_per_device, simulate_iteration
 from .viz import format_table
@@ -62,27 +63,16 @@ class PlanEvaluation:
         ]
 
 
-def evaluate_plan(
-    node_graph: NodeGraph,
-    plan: ShardingPlan,
-    mesh: Mesh,
-    config: Optional[CostConfig] = None,
-    registry: PatternRegistry = DEFAULT_REGISTRY,
-    name: Optional[str] = None,
-) -> PlanEvaluation:
-    """Price one plan; invalid plans return a marked, infinite evaluation."""
-    label = name or plan.name or "plan"
-    try:
-        routed = route_plan(node_graph, plan, registry)
-    except RoutingError:
-        return PlanEvaluation(
-            name=label, plan=plan, comm_cost=float("inf"),
-            iteration_time=float("inf"), exposed_comm_time=float("inf"),
-            memory_bytes=0, valid=False,
-        )
-    cfg = config or CostConfig()
+def _invalid_evaluation(label: str, plan: ShardingPlan) -> PlanEvaluation:
+    return PlanEvaluation(
+        name=label, plan=plan, comm_cost=float("inf"),
+        iteration_time=float("inf"), exposed_comm_time=float("inf"),
+        memory_bytes=0, valid=False,
+    )
+
+
+def _evaluation_from(label, plan, routed, prof, mesh, cfg) -> PlanEvaluation:
     cm = CostModel(mesh, cfg)
-    prof = simulate_iteration(routed, mesh, cfg)
     mem = memory_per_device(routed, mesh, cfg)
     return PlanEvaluation(
         name=label,
@@ -94,6 +84,30 @@ def evaluate_plan(
     )
 
 
+def evaluate_plan(
+    node_graph: NodeGraph,
+    plan: ShardingPlan,
+    mesh: Mesh,
+    config: Optional[CostConfig] = None,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    name: Optional[str] = None,
+    engine=None,
+) -> PlanEvaluation:
+    """Price one plan; invalid plans return a marked, infinite evaluation.
+
+    ``engine`` selects the simulation tier (``None`` → the replay
+    default); all tiers produce bit-identical evaluations.
+    """
+    label = name or plan.name or "plan"
+    try:
+        routed = route_plan(node_graph, plan, registry)
+    except RoutingError:
+        return _invalid_evaluation(label, plan)
+    cfg = config or CostConfig()
+    prof = simulate_iteration(routed, mesh, cfg, engine=engine)
+    return _evaluation_from(label, plan, routed, prof, mesh, cfg)
+
+
 def compare_plans(
     node_graph: NodeGraph,
     mesh: Mesh,
@@ -101,25 +115,39 @@ def compare_plans(
     config: Optional[CostConfig] = None,
     include_tap: bool = True,
     extra_plans: Optional[Dict[str, ShardingPlan]] = None,
+    engine="columnar",
 ) -> List[PlanEvaluation]:
     """Evaluate the named strategies (and TAP's pick) side by side.
 
-    Returns evaluations sorted by communication cost (TAP's objective).
+    The candidate set is routed up front and simulated as **one**
+    columnar batch (:func:`repro.core.what_if_profiles`) rather than one
+    event-loop replay per plan; ``engine="replay"`` / ``"reference"``
+    restore the per-plan loop, bit-identically.  Returns evaluations
+    sorted by communication cost (TAP's objective).
     """
     tp = tp_degree if tp_degree is not None else mesh.gpus_per_node
-    evaluations: List[PlanEvaluation] = []
-    for name, builder in NAMED_PLANS.items():
-        evaluations.append(
-            evaluate_plan(node_graph, builder(node_graph, tp), mesh, config,
-                          name=name)
-        )
+    labelled: List = [
+        (name, builder(node_graph, tp)) for name, builder in NAMED_PLANS.items()
+    ]
     if include_tap:
         result = derive_plan(node_graph, mesh, cost_config=config)
-        evaluations.append(
-            evaluate_plan(node_graph, result.plan, mesh, config, name="tap")
-        )
+        labelled.append(("tap", result.plan))
     for name, plan in (extra_plans or {}).items():
-        evaluations.append(evaluate_plan(node_graph, plan, mesh, config, name=name))
+        labelled.append((name, plan))
+
+    cfg = config or CostConfig()
+    outcomes = what_if_profiles(
+        node_graph, [plan for _, plan in labelled], mesh, cfg, engine=engine
+    )
+    evaluations: List[PlanEvaluation] = []
+    for (label, plan), outcome in zip(labelled, outcomes):
+        if outcome is None:
+            evaluations.append(_invalid_evaluation(label, plan))
+        else:
+            routed, prof = outcome
+            evaluations.append(
+                _evaluation_from(label, plan, routed, prof, mesh, cfg)
+            )
     evaluations.sort(key=lambda e: e.comm_cost)
     return evaluations
 
@@ -129,12 +157,16 @@ def sweep(
     configurations: Dict[str, Mesh],
     batch_tokens: Sequence[int] = (16 * 512,),
     registry: PatternRegistry = DEFAULT_REGISTRY,
+    engine=None,
 ) -> List[Dict]:
     """Derive TAP's plan across meshes × batch sizes.
 
     Returns one record per configuration: the discovered plan summary, its
     cost and the simulated step time — the raw data behind "how does the
-    best plan move as my system changes?".
+    best plan move as my system changes?".  Each point is a different
+    (mesh, config) pair, so the step times come from per-point
+    ``simulate_iteration`` calls on the *engine* tier rather than one
+    batch (batching shares a mesh/config across plans).
     """
     records: List[Dict] = []
     for mesh_name, mesh in configurations.items():
@@ -142,7 +174,7 @@ def sweep(
             cfg = CostConfig(batch_tokens=tokens)
             result = derive_plan(node_graph, mesh, registry=registry,
                                  cost_config=cfg)
-            prof = simulate_iteration(result.routed, mesh, cfg)
+            prof = simulate_iteration(result.routed, mesh, cfg, engine=engine)
             records.append(
                 {
                     "mesh": mesh_name,

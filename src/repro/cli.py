@@ -13,6 +13,10 @@ Commands
 ``simulate``
     Price a named plan (dp / mha_only / ffn_only / megatron / a saved
     JSON plan) on a mesh: step time, breakdown, per-device memory.
+    ``--engine {reference,replay,columnar}`` picks the simulation tier
+    (bit-identical results, different speed); ``--remote URL`` asks a
+    running planner daemon's ``POST /simulate`` instead, which prices a
+    whole candidate set in one cached columnar batch.
 ``verify``
     Static analysis: ``verify plan`` re-checks a derived or saved plan
     against the sharding invariants (divisibility, pattern chains,
@@ -257,7 +261,67 @@ def _run_plan(args, trimmed, trim_record, ng, mesh, cfg, chrome) -> int:
     return 0
 
 
+def _run_remote_simulate(args) -> int:
+    from .service import PlannerClient, ServiceError, SimulateRequest
+
+    nodes, gpus = _parse_mesh_shape(args.mesh)
+    labels = tuple(p.strip() for p in args.plans.split(",") if p.strip()) \
+        if args.plans else (args.plan,)
+    try:
+        request = SimulateRequest(
+            model=args.model,
+            mesh_nodes=nodes,
+            mesh_gpus=gpus,
+            fabric=args.fabric,
+            batch_tokens=args.batch_tokens,
+            plans=labels,
+            tp_degree=args.tp,
+            engine=args.engine or "columnar",
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad simulate request: {exc}")
+    client = PlannerClient(args.remote)
+    try:
+        reply = client.simulate(request)
+    except ServiceError as exc:
+        raise SystemExit(f"remote simulate failed: {exc}")
+    print(f"model: {args.model}   mesh: {args.mesh} ({args.fabric})   "
+          f"remote: {client.base_url}")
+    print(f"key: {reply['key']}")
+    print(f"source: {reply['source']} "
+          f"({'cache hit' if reply['cached'] else 'fresh simulation'}) "
+          f"[{reply.get('engine', '?')} tier]")
+    rows = []
+    for entry in reply["profiles"]:
+        if not entry.get("valid", True):
+            rows.append([entry["plan"], "-", "-", "-", "invalid"])
+            continue
+        prof = entry["profile"]
+        rows.append([
+            entry["plan"],
+            f"{prof['iteration_time'] * 1e3:.1f}",
+            f"{prof['comm_time'] * 1e3:.1f}",
+            f"{prof['exposed_comm_time'] * 1e3:.1f}",
+            f"{prof['overlap_efficiency'] * 100:.0f}%",
+        ])
+    print(format_table(
+        ["plan", "step (ms)", "comm (ms)", "exposed (ms)", "overlap"],
+        rows,
+        title=f"{args.model} what-if on {args.mesh}",
+    ))
+    print(f"round trip: {reply['latency_seconds'] * 1e3:.2f} ms service-side")
+    return 0
+
+
 def cmd_simulate(args) -> int:
+    from .simulator import normalize_sim_engine
+
+    try:
+        tier = normalize_sim_engine(args.engine, args.reference)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.remote:
+        return _run_remote_simulate(args)
     _, _, _, ng = _prep(args.model)
     mesh = _parse_mesh(args.mesh, args.fabric)
     cfg = CostConfig(batch_tokens=args.batch_tokens)
@@ -274,7 +338,9 @@ def cmd_simulate(args) -> int:
         if not report.ok:
             _print_verification(report, "routed plan")
             return 1
-    prof = simulate_iteration(routed, mesh, cfg, reference=args.reference)
+    prof = simulate_iteration(
+        routed, mesh, cfg, engine=tier, verify=not args.no_verify
+    )
     mem = memory_per_device(routed, mesh, cfg)
     cost = CostModel(mesh, cfg).plan_cost(routed)
     print(format_table(
@@ -288,7 +354,7 @@ def cmd_simulate(args) -> int:
             f"{cost * 1e3:.1f}",
             f"{mem.total_gb:.2f}",
         ]],
-        title=f"{args.model} on {mesh}",
+        title=f"{args.model} on {mesh} [{tier} tier]",
     ))
     return 0
 
@@ -399,7 +465,8 @@ def cmd_serve(args) -> int:
     mode = "inline" if args.inline else f"{stats['workers']} worker process(es)"
     print(f"planner service on http://{host}:{port}")
     print(f"cache: {cache_dir} ({stats['preloaded']} plans preloaded; {mode})")
-    print("endpoints: POST /plan  GET /stats  GET /health  POST /shutdown")
+    print("endpoints: POST /plan  POST /simulate  GET /stats  GET /health  "
+          "POST /shutdown")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -519,11 +586,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mesh", default="2x8")
     p.add_argument("--fabric", choices=("paper", "nvlink"), default="paper")
     p.add_argument("--batch-tokens", type=int, default=16 * 512)
+    p.add_argument("--engine", choices=("reference", "replay", "columnar"),
+                   default=None,
+                   help="simulation tier: the reference event loop, "
+                        "segment replay (default), or the vectorized "
+                        "columnar tier — all bit-identical")
     p.add_argument("--reference", action="store_true",
-                   help="use the reference event loop instead of "
-                        "segment replay (bit-identical, slower)")
+                   help="alias for --engine reference (kept for "
+                        "compatibility)")
     p.add_argument("--no-verify", action="store_true",
-                   help="skip the static plan verifier")
+                   help="skip the static plan verifier (and the columnar "
+                        "tape invariant checks)")
+    p.add_argument("--remote", metavar="URL",
+                   help="send the request to a running planner daemon's "
+                        "POST /simulate (see 'repro serve')")
+    p.add_argument("--plans", default=None,
+                   help="with --remote: comma-separated plan labels "
+                        "(named plans and/or 'tap'; default: --plan)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("verify", help="static analysis (plan checker, lint)")

@@ -27,9 +27,15 @@ from .patterns import DEFAULT_REGISTRY, PatternRegistry
 from .plan import RoutedPlan, ShardingPlan
 from .planner import SearchResult, derive_plan
 from .rewrite import RewriteResult, rewrite_graph
-from .routing import route_plan
+from .routing import RoutingError, route_plan
 
-__all__ = ["split", "plan_request", "auto_parallel", "ParallelizedModel"]
+__all__ = [
+    "split",
+    "plan_request",
+    "what_if_profiles",
+    "auto_parallel",
+    "ParallelizedModel",
+]
 
 
 def split(mesh_shape: Sequence[int] | Mesh) -> Mesh:
@@ -145,6 +151,56 @@ def plan_request(
         engine=engine,
         jobs=jobs,
     )
+
+
+def what_if_profiles(
+    node_graph: NodeGraph,
+    plans: Sequence[ShardingPlan],
+    mesh: Mesh | Sequence[int],
+    config: Optional[CostConfig] = None,
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    *,
+    engine="columnar",
+    recompute=None,
+):
+    """Route and simulate many candidate plans in one batched replay.
+
+    The core entry point behind what-if surfaces (plan comparison
+    tables, sweep loops, the service's ``POST /simulate``): every plan
+    is routed, and all routable plans are priced together —
+    ``engine="columnar"`` (the default) folds their timelines in a
+    single :func:`repro.simulator.simulate_batch` call instead of one
+    event-loop replay per plan.  ``engine="replay"`` / ``"reference"``
+    fall back to per-plan :func:`simulate_iteration`, tier-for-tier
+    bit-identical.
+
+    Returns a list aligned with *plans*: ``(routed, profile)`` per
+    routable plan, ``None`` where routing failed.
+    """
+    from ..simulator import normalize_sim_engine, simulate_batch, simulate_iteration
+
+    tier = normalize_sim_engine(engine)
+    mesh = split(mesh)
+    cfg = config or CostConfig()
+    slots = []
+    routed_plans = []
+    for i, plan in enumerate(plans):
+        try:
+            routed_plans.append(route_plan(node_graph, plan, registry))
+        except RoutingError:
+            continue
+        slots.append(i)
+    if tier == "columnar":
+        profiles = simulate_batch(routed_plans, mesh, cfg, recompute)
+    else:
+        profiles = [
+            simulate_iteration(r, mesh, cfg, recompute, engine=tier)
+            for r in routed_plans
+        ]
+    out = [None] * len(plans)
+    for i, routed, prof in zip(slots, routed_plans, profiles):
+        out[i] = (routed, prof)
+    return out
 
 
 def auto_parallel(

@@ -46,6 +46,10 @@ __all__ = [
     "load_routed",
     "envelope_to_json",
     "envelope_from_json",
+    "SIM_ENVELOPE_VERSION",
+    "SimEnvelope",
+    "sim_envelope_to_json",
+    "sim_envelope_from_json",
 ]
 
 SCHEMA_VERSION = 1
@@ -54,6 +58,10 @@ SCHEMA_VERSION = 1
 #: Bump when the envelope layout changes; the disk cache treats entries
 #: with a different version as misses (quarantined, never replayed).
 CACHE_ENVELOPE_VERSION = 1
+
+#: Version of the simulation-profile envelope (``POST /simulate``'s
+#: cached answer).  Same lifecycle as the plan envelope version.
+SIM_ENVELOPE_VERSION = 1
 
 
 def _cache_field_names(cls) -> FrozenSet[str]:
@@ -471,4 +479,163 @@ def envelope_from_json(
         cost=cost,
         created=str(doc.get("created", "")),
         routed=routed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# simulation-profile envelopes (the service's POST /simulate cache)
+# ---------------------------------------------------------------------------
+
+#: per-profile float fields every valid entry must carry (the
+#: :meth:`IterationProfile.as_dict` schema).
+_SIM_PROFILE_FIELDS = (
+    "forward_time",
+    "backward_time",
+    "iteration_time",
+    "compute_time",
+    "comm_time",
+    "exposed_comm_time",
+    "gradient_sync_time",
+    "num_gradient_buckets",
+    "overlap_efficiency",
+)
+
+
+@dataclasses.dataclass
+class SimEnvelope:
+    """One persistent what-if simulation entry: profiles plus provenance.
+
+    The batched-simulation analogue of :class:`CacheEnvelope`: the
+    versioned ``sim-…`` cache key, the full fingerprints (graph, mesh,
+    config, plan set) behind it, the simulation tier that produced the
+    profiles, wall-clock timings, and one record per requested plan —
+    its label, validity, :meth:`IterationProfile.as_dict` numbers and a
+    per-channel summary (busy / makespan / idle / task count).  Profiles
+    are pure plan×mesh×config functions, so a cached envelope answers a
+    repeat what-if without touching the simulator at all.
+    """
+
+    key: str
+    fingerprints: Dict[str, str]
+    engine: str
+    timings: Dict[str, float]
+    created: str                 # ISO-8601 UTC, stamped by the *caller*
+    profiles: List[Dict]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return sim_envelope_to_json(
+            self.profiles,
+            key=self.key,
+            fingerprints=self.fingerprints,
+            engine=self.engine,
+            timings=self.timings,
+            created=self.created,
+            indent=indent,
+        )
+
+
+def sim_envelope_to_json(
+    profiles: List[Dict],
+    *,
+    key: str,
+    fingerprints: Dict[str, str],
+    engine: str,
+    timings: Dict[str, float],
+    created: str = "",
+    indent: Optional[int] = None,
+) -> str:
+    """Wrap per-plan simulation profiles in a versioned cache envelope."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "envelope": SIM_ENVELOPE_VERSION,
+        "kind": "repro.sim_cache_entry",
+        "key": key,
+        "fingerprints": dict(fingerprints),
+        "engine": engine,
+        "timings": dict(timings),
+        "created": created,
+        "profiles": profiles,
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def _check_sim_profile(entry) -> Dict:
+    if not isinstance(entry, dict):
+        raise PlanLoadError("profile entry must be a mapping")
+    label = entry.get("plan")
+    if not isinstance(label, str) or not label:
+        raise PlanLoadError("profile entry must name its plan")
+    if not entry.get("valid", True):
+        return {"plan": label, "valid": False}
+    prof = entry.get("profile")
+    if not isinstance(prof, dict):
+        raise PlanLoadError(f"profile entry {label!r} carries no profile")
+    for fld in _SIM_PROFILE_FIELDS:
+        try:
+            value = float(prof[fld])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PlanLoadError(
+                f"profile entry {label!r} field {fld!r} is invalid: {exc}"
+            ) from exc
+        if fld != "overlap_efficiency" and value < 0.0:
+            raise PlanLoadError(
+                f"profile entry {label!r} has negative {fld}: {value}"
+            )
+    channels = entry.get("channels")
+    if channels is not None and not isinstance(channels, dict):
+        raise PlanLoadError(f"profile entry {label!r} channels must map names")
+    return entry
+
+
+def sim_envelope_from_json(
+    text: str, expected_key: Optional[str] = None
+) -> SimEnvelope:
+    """Parse a simulation envelope; raises :class:`PlanLoadError` when corrupt.
+
+    Mirrors :func:`envelope_from_json`'s guarantees — kind/version gate,
+    slot-key cross-check, field validation — so the disk cache can
+    quarantine anything unreadable instead of serving it.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanLoadError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != "repro.sim_cache_entry":
+        raise PlanLoadError("document is not a simulation-cache envelope")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise PlanLoadError(
+            f"unsupported schema version {doc.get('schema')!r} "
+            f"(this library reads version {SCHEMA_VERSION})"
+        )
+    if doc.get("envelope") != SIM_ENVELOPE_VERSION:
+        raise PlanLoadError(
+            f"unsupported sim-envelope version {doc.get('envelope')!r} "
+            f"(this library reads version {SIM_ENVELOPE_VERSION})"
+        )
+    key = doc.get("key")
+    if not isinstance(key, str) or not key:
+        raise PlanLoadError("envelope carries no cache key")
+    if expected_key is not None and key != expected_key:
+        raise PlanLoadError(
+            f"envelope key {key!r} does not match its slot {expected_key!r}"
+        )
+    fingerprints = doc.get("fingerprints")
+    if not isinstance(fingerprints, dict) or not all(
+        isinstance(k, str) and isinstance(v, str)
+        for k, v in fingerprints.items()
+    ):
+        raise PlanLoadError("envelope fingerprints must map names to digests")
+    timings = doc.get("timings")
+    if not isinstance(timings, dict):
+        raise PlanLoadError("envelope timings must be a mapping")
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list) or not profiles:
+        raise PlanLoadError("envelope must carry a non-empty profile list")
+    return SimEnvelope(
+        key=key,
+        fingerprints={k: str(v) for k, v in sorted(fingerprints.items())},
+        engine=str(doc.get("engine", "")),
+        timings={k: float(v) for k, v in sorted(timings.items())},
+        created=str(doc.get("created", "")),
+        profiles=[_check_sim_profile(p) for p in profiles],
     )

@@ -24,12 +24,16 @@ from .planner import (
     PlanResponse,
     ServiceError,
     ServiceOverloadedError,
+    SimulateResponse,
 )
 from .requests import (
+    DEFAULT_SIM_PLANS,
     PlanRequest,
+    SimulateRequest,
     build_request_graph,
     request_fingerprints,
     request_key,
+    simulate_request_key,
 )
 from .server import PlannerClient, PlannerServer, serve
 from .workers import WorkerFleet, execute_request, resolve_workers
@@ -43,10 +47,14 @@ __all__ = [
     "PlanResponse",
     "ServiceError",
     "ServiceOverloadedError",
+    "SimulateResponse",
+    "DEFAULT_SIM_PLANS",
     "PlanRequest",
+    "SimulateRequest",
     "build_request_graph",
     "request_fingerprints",
     "request_key",
+    "simulate_request_key",
     "PlannerClient",
     "PlannerServer",
     "serve",

@@ -33,6 +33,18 @@ __all__ = ["CacheStats", "PlanCache", "QUARANTINE_DIR", "default_cache_dir"]
 QUARANTINE_DIR = "quarantine"
 
 
+def _parse_plan_envelope(
+    text: str,
+    node_graph: Optional[NodeGraph],
+    verify: bool,
+    expected_key: Optional[str],
+) -> CacheEnvelope:
+    """Default ``parse`` hook: plan-cache envelopes."""
+    return envelope_from_json(
+        text, node_graph, verify=verify, expected_key=expected_key
+    )
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/plans``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -96,12 +108,22 @@ class PlanCache:
         *,
         capacity: int = 128,
         verify_loads: bool = True,
+        parse=None,
+        key_glob: str = "v*.json",
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._dir = Path(cache_dir) if cache_dir is not None else None
         self._capacity = capacity
         self._verify_loads = verify_loads
+        # ``parse(text, node_graph, verify, expected_key) -> envelope``;
+        # the default reads plan-cache envelopes.  The simulation-profile
+        # store reuses the whole LRU/atomic-write/quarantine machinery by
+        # swapping in ``sim_envelope_from_json`` (and a matching glob for
+        # its ``sim-v…`` key prefix) — parse failures quarantine the same
+        # way whatever the envelope kind.
+        self._parse = parse if parse is not None else _parse_plan_envelope
+        self._key_glob = key_glob
         self._lru: "OrderedDict[str, CacheEnvelope]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = CacheStats()
@@ -141,11 +163,11 @@ class PlanCache:
         except OSError:
             return None
         try:
-            return envelope_from_json(
+            return self._parse(
                 text,
                 node_graph,
-                verify=self._verify_loads and node_graph is not None,
-                expected_key=key,
+                self._verify_loads and node_graph is not None,
+                key,
             )
         except (PlanLoadError, PlanVerificationError):
             self._quarantine(path)
@@ -172,7 +194,7 @@ class PlanCache:
         parses it once — the parse also acts as a write barrier: an
         envelope the reader side cannot load never reaches the cache.
         """
-        env = envelope_from_json(envelope_json, verify=False, expected_key=key)
+        env = self._parse(envelope_json, None, False, key)
         path = self._entry_path(key)
         if path is not None:
             tmp = path.with_name(f".{path.name}.tmp{os.getpid()}.{threading.get_ident()}")
@@ -220,7 +242,7 @@ class PlanCache:
             return []
         entries = [
             (p.stem, p)
-            for p in self._dir.glob("v*.json")
+            for p in self._dir.glob(self._key_glob)
             if p.is_file()
         ]
         entries.sort(key=lambda kp: kp[1].stat().st_mtime, reverse=True)

@@ -30,19 +30,37 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
 from .. import obs
-from ..core import CacheEnvelope, NodeGraph, RoutedPlan, graph_fingerprint
+from ..baselines import NAMED_PLANS
+from ..core import (
+    CacheEnvelope,
+    NodeGraph,
+    RoutedPlan,
+    SimEnvelope,
+    graph_fingerprint,
+    sim_envelope_from_json,
+    sim_envelope_to_json,
+    what_if_profiles,
+)
 from .cache import PlanCache
-from .requests import PlanRequest, build_request_graph, request_key
-from .workers import WorkerFleet, execute_request
+from .requests import (
+    PlanRequest,
+    SimulateRequest,
+    build_request_graph,
+    request_key,
+    simulate_request_key,
+)
+from .workers import WorkerFleet, execute_request, utc_now_iso
 
 __all__ = [
     "PlanResponse",
     "PlannerService",
     "ServiceError",
     "ServiceOverloadedError",
+    "SimulateResponse",
 ]
 
 
@@ -62,6 +80,21 @@ class ServiceOverloadedError(ServiceError):
         self.limit = limit
 
 
+def _parse_sim_envelope(
+    text: str,
+    node_graph: Optional[NodeGraph],
+    verify: bool,
+    expected_key: Optional[str],
+) -> SimEnvelope:
+    """:class:`PlanCache` parse hook for the simulation-profile store.
+
+    Profiles carry no plan to re-verify, so the graph/verify arguments
+    are intentionally unused — structural validation plus the slot-key
+    cross-check is the whole trust story.
+    """
+    return sim_envelope_from_json(text, expected_key=expected_key)
+
+
 @dataclass
 class PlanResponse:
     """What ``plan()`` hands back, whatever path the request took."""
@@ -79,6 +112,25 @@ class PlanResponse:
     @property
     def cost(self) -> float:
         return self.envelope.cost
+
+    @property
+    def cached(self) -> bool:
+        return self.source in ("memory", "disk")
+
+
+@dataclass
+class SimulateResponse:
+    """What ``simulate()`` hands back, whatever path the request took."""
+
+    key: str
+    source: str  # "memory" | "disk" | "simulate"
+    envelope: SimEnvelope
+    latency_seconds: float
+    label: str
+
+    @property
+    def profiles(self) -> List[Dict]:
+        return self.envelope.profiles
 
     @property
     def cached(self) -> bool:
@@ -131,6 +183,17 @@ class PlannerService:
         self.cache = PlanCache(
             cache_dir, capacity=lru_capacity, verify_loads=verify_loads
         )
+        # Sibling store for POST /simulate envelopes: same LRU / atomic
+        # write / quarantine machinery, its own directory and key prefix
+        # so `repro cache` maintenance on either store cannot eat the
+        # other's entries.
+        self.sim_cache = PlanCache(
+            Path(cache_dir) / "sim" if cache_dir is not None else None,
+            capacity=lru_capacity,
+            verify_loads=False,
+            parse=_parse_sim_envelope,
+            key_glob="sim-v*.json",
+        )
         self._fleet = WorkerFleet(workers) if workers is not None else None
         self._queue_limit = queue_limit
         self._inflight: Dict[str, _Inflight] = {}
@@ -144,18 +207,22 @@ class PlannerService:
             "coalesced": 0,
             "overloaded": 0,
             "errors": 0,
+            "sim_requests": 0,
+            "simulations": 0,
         }
         self._closed = False
         self._preloaded = self.cache.preload() if preload else 0
 
     # -- identity ----------------------------------------------------------
 
-    def _request_identity(self, request: PlanRequest) -> Tuple[NodeGraph, str]:
-        """Per-preset memo of (graph, graph digest) + the request's key.
+    def _graph_identity(self, request) -> Tuple[NodeGraph, str]:
+        """Per-preset memo of (graph, graph digest).
 
         Building and hashing the graph dominates key cost (milliseconds
         for big presets); both are pure functions of the preset name, so
-        a warm hit pays only the two small mesh/config hashes.
+        a warm hit pays only the two small mesh/config hashes.  Shared
+        by the plan and simulate paths — *request* only needs a
+        ``.model`` attribute.
         """
         with self._graphs_lock:
             hit = self._graphs.get(request.model)
@@ -164,7 +231,10 @@ class PlannerService:
             hit = (node_graph, graph_fingerprint(node_graph))
             with self._graphs_lock:
                 hit = self._graphs.setdefault(request.model, hit)
-        node_graph, graph_fp = hit
+        return hit
+
+    def _request_identity(self, request: PlanRequest) -> Tuple[NodeGraph, str]:
+        node_graph, graph_fp = self._graph_identity(request)
         key, _ = request_key(request, graph_fp=graph_fp)
         return node_graph, key
 
@@ -270,6 +340,134 @@ class PlannerService:
             label=request.label(),
         )
 
+    # -- the simulate path -------------------------------------------------
+
+    def simulate(
+        self, request: SimulateRequest, timeout: Optional[float] = None
+    ) -> SimulateResponse:
+        """Answer one batched what-if request cache-first.
+
+        A miss routes every named candidate (plus ``"tap"`` through the
+        regular ``plan()`` path, so the search cache and coalescing
+        apply) and prices them all in one columnar
+        :func:`repro.core.what_if_profiles` batch on the calling thread
+        — the simulation itself is milliseconds, so unlike searches it
+        needs neither the worker fleet nor in-flight coalescing; at
+        worst two racing threads both compute the same envelope and the
+        atomic cache write keeps either winner correct.
+        """
+        if self._closed:
+            raise ServiceError("planner service is closed")
+        start = time.perf_counter()
+        node_graph, graph_fp = self._graph_identity(request)
+        key, fps = simulate_request_key(request, graph_fp=graph_fp)
+        with self._lock:
+            self._counters["sim_requests"] += 1
+        with obs.trace.span("service.simulate", key=key, model=request.model):
+            env, tier = self.sim_cache.get(key)
+            if env is not None:
+                obs.metrics.counter(f"service.sim_hit_{tier}")
+                return self._sim_respond(key, tier, env, request, start)
+            env = self._run_simulate(key, fps, request, node_graph, timeout)
+            return self._sim_respond(key, "simulate", env, request, start)
+
+    def simulate_key(self, request: SimulateRequest) -> str:
+        _, graph_fp = self._graph_identity(request)
+        return simulate_request_key(request, graph_fp=graph_fp)[0]
+
+    def _run_simulate(
+        self,
+        key: str,
+        fps: Dict[str, str],
+        request: SimulateRequest,
+        node_graph: NodeGraph,
+        timeout: Optional[float],
+    ) -> SimEnvelope:
+        sim_start = time.perf_counter()
+        labelled: List[Tuple[str, object]] = []
+        tap_seconds = 0.0
+        for label in request.plans:
+            if label == "tap":
+                resp = self.plan(request.plan_request(), timeout)
+                tap_seconds += resp.latency_seconds
+                labelled.append((label, resp.envelope.routed.plan))
+            elif label in NAMED_PLANS:
+                labelled.append(
+                    (label, NAMED_PLANS[label](node_graph, request.effective_tp()))
+                )
+            else:
+                # ValueError → HTTP 400: the label set is client input.
+                raise ValueError(
+                    f"unknown plan label {label!r}; "
+                    f"known: {sorted(NAMED_PLANS)} + ['tap']"
+                )
+        outcomes = what_if_profiles(
+            node_graph,
+            [plan for _, plan in labelled],
+            request.mesh(),
+            request.cost_config(),
+            engine=request.engine,
+        )
+        profiles: List[Dict] = []
+        for (label, _plan), outcome in zip(labelled, outcomes):
+            if outcome is None:
+                profiles.append({"plan": label, "valid": False})
+                continue
+            _routed, prof = outcome
+            channels = {
+                ch.name: {
+                    "busy_s": ch.busy_time,
+                    "idle_s": ch.idle_time(),
+                    "makespan_s": ch.makespan,
+                    "tasks": len(ch.log),
+                }
+                for ch in prof.engine.channels
+            }
+            profiles.append(
+                {
+                    "plan": label,
+                    "valid": True,
+                    "profile": prof.as_dict(),
+                    "channels": channels,
+                }
+            )
+        env_json = sim_envelope_to_json(
+            profiles,
+            key=key,
+            fingerprints=fps,
+            engine=request.engine,
+            timings={
+                "simulate_s": round(time.perf_counter() - sim_start, 6),
+                "tap_search_s": round(tap_seconds, 6),
+            },
+            created=utc_now_iso(),
+        )
+        env = self.sim_cache.put(key, env_json)
+        with self._lock:
+            self._counters["simulations"] += 1
+        obs.metrics.counter("service.sim_miss")
+        return env
+
+    def _sim_respond(
+        self,
+        key: str,
+        source: str,
+        env: SimEnvelope,
+        request: SimulateRequest,
+        start: float,
+    ) -> SimulateResponse:
+        latency = time.perf_counter() - start
+        with self._lock:
+            self._latencies.append(latency)
+        obs.metrics.gauge("service.simulate_latency_s", latency, source=source)
+        return SimulateResponse(
+            key=key,
+            source=source,
+            envelope=env,
+            latency_seconds=latency,
+            label=request.label(),
+        )
+
     # -- lifecycle / introspection ----------------------------------------
 
     def stats(self) -> Dict:
@@ -280,6 +478,7 @@ class PlannerService:
         return {
             "counters": counters,
             "cache": self.cache.stats_dict(),
+            "sim_cache": self.sim_cache.stats_dict(),
             "latency": {
                 "count": len(sample),
                 "p50_s": round(_quantile(sample, 0.50), 6),

@@ -4,17 +4,20 @@
 thread per connection — coalescing in :class:`PlannerService` is what
 makes that safe under duplicate bursts) over four endpoints:
 
-===========  ====  ====================================================
-``/plan``    POST  a :class:`PlanRequest` doc → plan summary + envelope
-``/stats``   GET   service counters, cache stats, latency p50/p99
-``/health``  GET   liveness probe
-``/shutdown``POST  graceful stop: drain, close the fleet, exit serve()
-===========  ====  ====================================================
+=============  ====  ==================================================
+``/plan``      POST  a :class:`PlanRequest` doc → plan summary + envelope
+``/simulate``  POST  a :class:`SimulateRequest` doc → per-plan what-if
+                     profiles (batched columnar simulation, cached)
+``/stats``     GET   service counters, cache stats, latency p50/p99
+``/health``    GET   liveness probe
+``/shutdown``  POST  graceful stop: drain, close the fleet, exit serve()
+=============  ====  ==================================================
 
 Errors map to status codes a retrying client can act on: 400 for a bad
-request (unknown preset, malformed doc), 429 when admission control
-sheds load, 500 for a failed search.  :class:`PlannerClient` is the
-matching urllib-only client used by ``repro plan --remote``.
+request (unknown preset, malformed doc, unknown plan label), 429 when
+admission control sheds load, 500 for a failed search.
+:class:`PlannerClient` is the matching urllib-only client used by
+``repro plan --remote`` and ``repro simulate --remote``.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from .planner import PlannerService, ServiceError, ServiceOverloadedError
-from .requests import PlanRequest
+from .requests import PlanRequest, SimulateRequest
 
 __all__ = ["PlannerClient", "PlannerServer", "serve"]
 
@@ -76,13 +79,15 @@ class _Handler(BaseHTTPRequestHandler):
                 target=self.server.shutdown, daemon=True  # type: ignore[attr-defined]
             ).start()
             return
-        if self.path != "/plan":
+        if self.path not in ("/plan", "/simulate"):
             self._reply(404, {"error": f"no such endpoint: {self.path}"})
             return
         try:
             doc = self._read_doc()
-            request = PlanRequest.from_doc(doc)
-            response = self.service.plan(request)
+            if self.path == "/simulate":
+                response = self.service.simulate(SimulateRequest.from_doc(doc))
+            else:
+                response = self.service.plan(PlanRequest.from_doc(doc))
         except ServiceOverloadedError as exc:
             self._reply(429, {"error": str(exc)})
             return
@@ -93,20 +98,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(500, {"error": str(exc)})
             return
         env = response.envelope
-        self._reply(
-            200,
-            {
-                "key": response.key,
-                "source": response.source,
-                "cached": response.cached,
-                "cost": response.cost,
-                "latency_seconds": response.latency_seconds,
-                "label": response.label,
-                "engine": env.engine,
-                "timings": env.timings,
-                "envelope": json.loads(env.to_json()),
-            },
-        )
+        body = {
+            "key": response.key,
+            "source": response.source,
+            "cached": response.cached,
+            "latency_seconds": response.latency_seconds,
+            "label": response.label,
+            "engine": env.engine,
+            "timings": env.timings,
+            "envelope": json.loads(env.to_json()),
+        }
+        if self.path == "/simulate":
+            body["profiles"] = env.profiles
+        else:
+            body["cost"] = response.cost
+        self._reply(200, body)
 
 
 class PlannerServer:
@@ -216,6 +222,9 @@ class PlannerClient:
 
     def plan(self, request: PlanRequest) -> Dict:
         return self._call("/plan", request.to_doc())
+
+    def simulate(self, request: SimulateRequest) -> Dict:
+        return self._call("/simulate", request.to_doc())
 
     def stats(self) -> Dict:
         return self._call("/stats")

@@ -1,7 +1,19 @@
 """Discrete-event training simulator: timing, memory, fusion, convergence."""
 
 from .engine import Channel, Engine, Task
-from .iteration import IterationProfile, detect_segments, simulate_iteration
+from .iteration import (
+    IterationProfile,
+    SIM_ENGINE_TIERS,
+    detect_segments,
+    normalize_sim_engine,
+    simulate_iteration,
+)
+from .columnar import (
+    ColumnarTape,
+    columnar_tape_invariants,
+    compile_columnar_tape,
+    simulate_batch,
+)
 from .memory import MemoryReport, memory_per_device
 from .fusion import (
     FUSIBLE_OPS,
@@ -22,8 +34,14 @@ __all__ = [
     "Engine",
     "Task",
     "IterationProfile",
+    "SIM_ENGINE_TIERS",
+    "normalize_sim_engine",
     "simulate_iteration",
     "detect_segments",
+    "ColumnarTape",
+    "columnar_tape_invariants",
+    "compile_columnar_tape",
+    "simulate_batch",
     "MemoryReport",
     "memory_per_device",
     "FUSIBLE_OPS",

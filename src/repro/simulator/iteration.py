@@ -16,10 +16,14 @@ compute channel and a communication channel:
 The exposed communication time, bubble sizes and phase breakdown come out
 of the channel logs, not from closed-form ``min``/``max`` bounds.
 
-Two implementations produce that timeline:
+Three implementations produce that timeline (``engine=`` selects one):
 
-* ``reference=True`` — the original event loop: every node of every layer
-  instance re-prices its collectives and re-submits its tasks one by one.
+* ``engine="reference"`` — the original event loop: every node of every
+  layer instance re-prices its collectives and re-submits its tasks one
+  by one.
+* ``engine="columnar"`` (:mod:`.columnar`) — the priced tape flattened
+  into numpy struct-of-arrays and replayed as prefix sums; the batched
+  what-if entry point ``simulate_batch`` lives there too.
 * the default **segment-replay** path — the same observation Algorithm 1
   applies to the search, applied to the simulator.  Nodes are grouped by
   structural signature (pattern, flops, compute share, event list — the
@@ -53,10 +57,38 @@ from ..core.plan import RoutedPlan
 
 __all__ = [
     "IterationProfile",
+    "SIM_ENGINE_TIERS",
+    "normalize_sim_engine",
     "simulate_iteration",
     "detect_segments",
     "tape_invariants",
 ]
+
+#: The selectable simulation tiers, oracle first (mirrors the search's
+#: ``ENGINE_TIERS``): the original per-task event loop, the segment-replay
+#: event loop, and the prefix-sum columnar replay.  All three are
+#: bit-exact on profiles and task logs.
+SIM_ENGINE_TIERS = ("reference", "replay", "columnar")
+
+
+def normalize_sim_engine(engine=None, reference: bool = False) -> str:
+    """Map the ``engine=`` / legacy ``reference=`` knobs onto a tier name.
+
+    ``engine=None`` defers to the boolean (``reference=True`` → the
+    oracle loop, else the default replay tier); naming both and
+    disagreeing is an error, not a silent override.
+    """
+    if engine is None:
+        return "reference" if reference else "replay"
+    if engine not in SIM_ENGINE_TIERS:
+        raise ValueError(
+            f"engine must be None or one of {SIM_ENGINE_TIERS}, got {engine!r}"
+        )
+    if reference and engine != "reference":
+        raise ValueError(
+            f"reference=True conflicts with engine={engine!r}"
+        )
+    return engine
 
 
 @dataclass
@@ -215,7 +247,7 @@ def _event_nbytes(ev, tokens: int, cache: Dict) -> int:
 def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, dp):
     """Price every distinct node signature once and lay out the replay tape.
 
-    Returns ``(fwd_tape, bwd_tape, bucket_plan, stats)``:
+    Returns ``(fwd_tape, bwd_tape, bucket_plan, stats, sig_ids)``:
 
     * ``fwd_tape[i]`` — per node in ``routed.order``: ``(fwd_comm,
       task_name, seconds)`` with ``fwd_comm`` a tuple of pre-named,
@@ -227,7 +259,12 @@ def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, 
       ``(lo, hi, task_name, seconds)`` member slices into the packet
       stream;
     * ``stats`` — ``(segments_detected, nodes_replayed)`` from
-      :func:`detect_segments` over the signature sequence.
+      :func:`detect_segments` over the signature sequence;
+    * ``sig_ids`` — the per-node signature id sequence itself (the
+      columnar tier's segment tables are built from it).
+
+    Only the first four elements are cached on the plan (the replay
+    quadruple); ``sig_ids`` is a compile byproduct.
     """
     tokens = max(cfg.batch_tokens // dp, 1)
     eff = mesh.effective_flops
@@ -336,7 +373,7 @@ def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, 
     segments = detect_segments(sig_ids)
     segments_detected = sum(1 for _, _, reps in segments if reps > 1)
     nodes_replayed = sum(period * (reps - 1) for _, period, reps in segments)
-    return fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed)
+    return fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed), sig_ids
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +473,8 @@ def simulate_iteration(
     recompute=None,
     *,
     reference: bool = False,
+    engine=None,
+    verify: bool = True,
 ) -> IterationProfile:
     """Replay one iteration of *routed* on *mesh* at event granularity.
 
@@ -443,20 +482,34 @@ def simulate_iteration(
     nodes it marks re-run their forward computation during backward
     (gradient checkpointing's time cost).
 
-    ``reference=True`` runs the original per-task event loop instead of
-    the segment-replay fast path.  The two are bit-exact — same profile,
-    same task log — so the flag exists as the escape hatch / oracle for
-    the property tests, mirroring ``derive_plan(engine=False)``.
+    ``engine`` selects the simulation tier (see
+    :func:`normalize_sim_engine`): ``"reference"`` is the original
+    per-task event loop, ``"replay"`` (the default) the segment-replay
+    fast path, ``"columnar"`` the prefix-sum array replay.  All tiers are
+    bit-exact — same profile, same task log — so the slower ones exist as
+    escape hatch / oracle for the property tests, mirroring
+    ``derive_plan(engine=...)``.  ``reference=True`` remains as the
+    pre-tier spelling of ``engine="reference"``.
+
+    ``verify`` only affects the columnar tier: freshly compiled columnar
+    tapes run their structural invariants (the ``sim/tape-columnar``
+    rule) before first use; pass ``False`` to skip (CLI ``--no-verify``).
     """
     cfg = config or CostConfig()
+    tier = normalize_sim_engine(engine, reference)
     with trace.span(
         "simulate",
         nodes=len(routed.order),
         tp=routed.tp_degree,
-        reference=reference,
+        reference=tier == "reference",
+        engine=tier,
     ):
-        if reference:
+        if tier == "reference":
             prof = _simulate_reference(routed, mesh, cfg, recompute)
+        elif tier == "columnar":
+            from .columnar import simulate_columnar
+
+            prof = simulate_columnar(routed, mesh, cfg, recompute, check=verify)
         else:
             prof = _simulate_replay(routed, mesh, cfg, recompute)
     if metrics.enabled():
@@ -480,7 +533,7 @@ def _simulate_replay(
     cache_key = (mesh, cfg) if rec is None else None
     compiled = routed._sim_cache.get(cache_key) if cache_key is not None else None
     if compiled is None:
-        compiled = _compile_tape(routed, mesh, cfg, rec, groups, dp)
+        compiled = _compile_tape(routed, mesh, cfg, rec, groups, dp)[:4]
         if cache_key is not None:
             routed._sim_cache[cache_key] = compiled
     fwd_tape, bwd_tape, bucket_plan, (segments_detected, nodes_replayed) = compiled

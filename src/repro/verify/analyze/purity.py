@@ -64,6 +64,7 @@ ENTRY_SUFFIXES: Tuple[str, ...] = (
     "core/packing.py",
     "core/fingerprint.py",
     "core/serialize.py",
+    "simulator/columnar.py",
     "simulator/engine.py",
     "simulator/iteration.py",
     "simulator/memory.py",

@@ -82,6 +82,7 @@ _WALLCLOCK_MODULES = (
     "core/fingerprint.py",
     "core/packing.py",
     "core/serialize.py",
+    "simulator/columnar.py",
     "simulator/engine.py",
     "simulator/iteration.py",
     "simulator/memory.py",
@@ -112,7 +113,7 @@ def _is_wallclock_module(path: str) -> bool:
 #: iterable-name suffixes that mark a compiled columnar array.
 _COLUMNAR_ARRAY_SUFFIXES = ("mat", "_col", "_cols", "_tab", "_arr")
 
-_COLUMNAR_FILE = re.compile(r"(^|/)core/columnar[^/]*\.py$")
+_COLUMNAR_FILE = re.compile(r"(^|/)(core|simulator)/columnar[^/]*\.py$")
 
 
 def _is_columnar_module(path: str) -> bool:

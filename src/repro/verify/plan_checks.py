@@ -30,6 +30,7 @@ Rule ids (see DESIGN.md "Static verification" for rationales):
 ``pack/bucket-size``     a fused bucket exceeds the chunk cap
 ``pack/mismatch``        rewrite's buckets differ from a fresh packing
 ``sim/tape``             a cached replay tape is inconsistent with the plan
+``sim/tape-columnar``    a cached columnar tape's flat arrays are corrupt
 ``rewrite/missing-collective`` a priced conversion edge has no comm op
 ``rewrite/orphan-comm``  a comm op no conversion or pattern accounts for
 ``rewrite/duplicate-comm`` one edge carries two collectives
@@ -84,6 +85,7 @@ ALL_RULES: Dict[str, str] = {
     "pack/bucket-size": "fused buckets above the chunk cap stall the update pipeline",
     "pack/mismatch": "rewrite's buckets must equal a fresh packing of the plan's stream",
     "sim/tape": "a cached tape inconsistent with the plan would replay a stale timeline",
+    "sim/tape-columnar": "corrupt flat columns (lengths, ids, segment closure) would vectorize a wrong timeline",
     "rewrite/missing-collective": "a priced conversion edge without its comm op computes garbage",
     "rewrite/orphan-comm": "a comm op nothing priced means cost and graph disagree",
     "rewrite/duplicate-comm": "one edge must carry exactly the collective the plan claims",
@@ -578,12 +580,24 @@ def _grad_stream(routed: RoutedPlan) -> List[int]:
 def _check_tapes(routed: RoutedPlan, report: VerificationReport) -> None:
     if not routed._sim_cache:
         return
+    from ..simulator.columnar import ColumnarTape, columnar_tape_invariants
     from ..simulator.iteration import tape_invariants
 
     for cache_key, compiled in routed._sim_cache.items():
-        for problem in tape_invariants(routed, compiled):
+        # The cache holds two entry shapes: the replay quadruple under
+        # (mesh, cfg) and a ColumnarTape under ("columnar", mesh, cfg) —
+        # dispatch on the value, not the key, so a mis-filed entry still
+        # gets checked (and fails loudly) rather than unpacking wrong.
+        if isinstance(compiled, ColumnarTape):
+            rule, problems = (
+                "sim/tape-columnar",
+                columnar_tape_invariants(routed, compiled),
+            )
+        else:
+            rule, problems = "sim/tape", tape_invariants(routed, compiled)
+        for problem in problems:
             report.add(
-                "sim/tape",
+                rule,
                 problem,
                 where=f"cache key {cache_key!r}",
                 hint="drop the cached tape (clear _sim_cache) and re-simulate",
