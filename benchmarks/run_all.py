@@ -9,7 +9,10 @@ artifact EXPERIMENTS.md cites:
 
 ``--update-baselines`` additionally normalises the ``BENCH_*.json``
 files the run produced and refreshes ``benchmarks/baselines/`` — the
-metrics ``repro bench compare`` gates CI against.
+metrics ``repro bench compare`` gates CI against.  To avoid silently
+clobbering baseline edits you have not committed yet, the refresh
+refuses to start while ``benchmarks/baselines/`` is dirty unless
+``--force`` is given.
 
 Exit status is non-zero if any benchmark fails.
 """
@@ -31,6 +34,25 @@ def discover() -> list:
     return sorted(BENCH_DIR.glob("test_*.py"))
 
 
+def dirty_baselines() -> list:
+    """Uncommitted changes under ``benchmarks/baselines/``, as porcelain lines.
+
+    Outside a git checkout (or without git on PATH) there is nothing to
+    clobber-check against, so the answer is "clean".
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--", "benchmarks/baselines/"],
+            cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+        )
+    except OSError:
+        return []
+    if proc.returncode != 0:
+        return []
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -40,7 +62,20 @@ def main(argv=None) -> int:
         "--update-baselines", action="store_true",
         help="refresh benchmarks/baselines/ from this run's BENCH_*.json",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="allow --update-baselines to overwrite uncommitted baseline edits",
+    )
     args = parser.parse_args(argv)
+
+    if args.update_baselines and not args.force:
+        dirty = dirty_baselines()
+        if dirty:
+            print("refusing --update-baselines: benchmarks/baselines/ has "
+                  "uncommitted changes (commit or stash them, or pass --force):")
+            for line in dirty:
+                print(f"  {line}")
+            return 2
 
     files = [f for f in discover() if args.k in f.name]
     if not files:

@@ -34,7 +34,14 @@ from .core import (
 from .simulator import memory_per_device, simulate_iteration
 from .viz import format_table
 
-__all__ = ["PlanEvaluation", "evaluate_plan", "compare_plans", "sweep"]
+__all__ = [
+    "PlanEvaluation",
+    "evaluate_plan",
+    "compare_plans",
+    "sweep",
+    "zero_crossover",
+    "render_zero_crossover",
+]
 
 
 @dataclass
@@ -188,6 +195,95 @@ def sweep(
                 }
             )
     return records
+
+
+def zero_crossover(
+    node_graph: NodeGraph,
+    mesh: Mesh,
+    config: Optional[CostConfig] = None,
+    tp_degree: Optional[int] = None,
+    stages: Sequence[int] = (0, 1, 2),
+    registry: PatternRegistry = DEFAULT_REGISTRY,
+    engine=None,
+) -> List[Dict]:
+    """The memory-vs-communication trade of the ZeRO axis, per stage.
+
+    Derives TAP's plan once (stage 0), then re-routes the *same*
+    assignment at each requested ``zero_stage`` so every point prices an
+    identical sharding — only the weight-update scheme differs.  Each
+    record reports the per-device memory breakdown, the simulated step
+    anatomy, and the deltas against stage 0: ``memory_saved_bytes`` (what
+    sharding the optimizer state / gradients buys) versus
+    ``comm_added_time`` (what the post-step weight all-gather costs).
+    The crossover question — "is ZeRO worth it here?" — is answered by
+    where the saved bytes start mattering more than the added seconds.
+    """
+    cfg = config or CostConfig()
+    result = derive_plan(
+        node_graph,
+        mesh,
+        registry=registry,
+        cost_config=cfg,
+        tp_degrees=(tp_degree,) if tp_degree is not None else None,
+    )
+    base_record: Optional[Dict] = None
+    records: List[Dict] = []
+    for stage in stages:
+        plan = ShardingPlan.of(
+            dict(result.plan.assignment),
+            result.plan.tp_degree,
+            name=f"{result.plan.name or 'tap'}-zero{stage}",
+            zero_stage=stage,
+        )
+        routed = route_plan(node_graph, plan, registry)
+        prof = simulate_iteration(routed, mesh, cfg, engine=engine)
+        mem = memory_per_device(routed, mesh, cfg)
+        record = {
+            "zero_stage": stage,
+            "tp_degree": plan.tp_degree,
+            "dp_degree": mesh.num_devices // plan.tp_degree,
+            "optimizer_bytes": mem.optimizer,
+            "gradient_bytes": mem.gradients,
+            "memory_bytes": mem.total,
+            "iteration_time": prof.iteration_time,
+            "comm_time": prof.comm_time,
+            "gradient_sync_time": prof.gradient_sync_time,
+            "weight_gather_time": prof.weight_gather_time,
+        }
+        if base_record is None:
+            base_record = record
+        record["memory_saved_bytes"] = (
+            base_record["memory_bytes"] - record["memory_bytes"]
+        )
+        record["comm_added_time"] = (
+            record["comm_time"] - base_record["comm_time"]
+        )
+        records.append(record)
+    return records
+
+
+def render_zero_crossover(records: List[Dict], title: str = "") -> str:
+    """Text table of a :func:`zero_crossover` result."""
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                str(r["zero_stage"]),
+                f"{r['optimizer_bytes'] / (1 << 30):.3f}",
+                f"{r['gradient_bytes'] / (1 << 30):.3f}",
+                f"{r['memory_bytes'] / (1 << 30):.3f}",
+                f"{r['memory_saved_bytes'] / (1 << 30):.3f}",
+                f"{r['weight_gather_time'] * 1e3:.2f}",
+                f"{r['comm_added_time'] * 1e3:.2f}",
+                f"{r['iteration_time'] * 1e3:.2f}",
+            ]
+        )
+    return format_table(
+        ["stage", "opt (GB)", "grad (GB)", "total (GB)", "saved (GB)",
+         "wgather (ms)", "comm Δ (ms)", "step (ms)"],
+        rows,
+        title=title or "ZeRO memory/communication crossover",
+    )
 
 
 def render_comparison(evaluations: List[PlanEvaluation], title: str = "") -> str:

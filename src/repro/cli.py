@@ -165,6 +165,7 @@ def _run_remote_plan(args) -> int:
         min_duplicate=args.min_duplicate,
         engine="reference" if args.no_engine else args.engine,
         jobs=args.jobs,
+        zero_stage=args.zero,
     )
     client = PlannerClient(args.remote)
     try:
@@ -218,8 +219,12 @@ def _run_plan(args, trimmed, trim_record, ng, mesh, cfg, chrome) -> int:
         min_duplicate=args.min_duplicate,
         engine=tier,
         jobs=args.jobs,
+        zero_stage=args.zero,
     )
     print(f"model: {args.model}   mesh: {mesh}")
+    if args.zero:
+        print(f"zero stage: {args.zero} (reduce-scatter grad sync + "
+              "post-step weight all-gather)")
     print(f"searched {result.candidates_examined} candidates "
           f"({result.valid_plans} valid) in {result.search_seconds:.2f}s")
     if tier != "reference":
@@ -567,6 +572,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-engine", action="store_true",
                    help="alias for --engine reference (kept for "
                         "compatibility)")
+    p.add_argument("--zero", type=int, nargs="?", const=1, default=0,
+                   choices=(0, 1, 2), metavar="STAGE",
+                   help="ZeRO-style optimizer-state sharding stage: "
+                        "gradients sync via reduce-scatter and updated "
+                        "weights all-gather after the step; stage 1 shards "
+                        "optimizer state 1/dp, stage 2 also shards "
+                        "gradients (bare --zero means stage 1)")
     p.add_argument("-o", "--output", help="save the plan as JSON")
     p.add_argument("--no-verify", action="store_true",
                    help="skip the static plan verifier")

@@ -117,6 +117,7 @@ def plan_request(
     max_plans_per_block: int = 50_000,
     engine=True,
     jobs: int = 1,
+    zero_stage: int = 0,
     registry: PatternRegistry = DEFAULT_REGISTRY,
 ) -> SearchResult:
     """Answer one planning request: normalise inputs, run the search.
@@ -150,6 +151,7 @@ def plan_request(
         use_pruning=use_pruning,
         engine=engine,
         jobs=jobs,
+        zero_stage=zero_stage,
     )
 
 
@@ -214,6 +216,7 @@ def auto_parallel(
     packing: Optional[PackingConfig] = None,
     use_pruning: bool = True,
     verify: bool = True,
+    zero_stage: int = 0,
 ) -> ParallelizedModel:
     """Derive and apply the best data/tensor-parallel plan for *model*.
 
@@ -243,6 +246,7 @@ def auto_parallel(
         min_duplicate=min_duplicate,
         tp_degrees=tp_degrees,
         use_pruning=use_pruning,
+        zero_stage=zero_stage,
     )
     rewrite = rewrite_graph(
         trimmed,

@@ -527,8 +527,9 @@ class _Degree:
                 )
         self.EPflat = ep.reshape(-1)
         #: gradient-stream pricing memo — degree-scoped, so repeat derives
-        #: with equal cost models share finalize work
-        self.grad_time_cache: Dict[Tuple, float] = {}
+        #: with equal cost models share finalize work; values are
+        #: (sync time, weight-gather time) pairs (gather is 0.0 off-ZeRO)
+        self.grad_time_cache: Dict[Tuple, Tuple[float, float]] = {}
 
 
 def _weight_column(
@@ -583,15 +584,22 @@ def _weight_column(
 
 
 def _degree(
-    sk: _Skeleton, registry: PatternRegistry, tp: int, cost_model: CostModel
+    sk: _Skeleton,
+    registry: PatternRegistry,
+    tp: int,
+    cost_model: CostModel,
+    zero_stage: int = 0,
 ) -> Tuple["_Degree", int]:
     """Get/build the degree compile; returns ``(tables, columns built)``.
 
-    The key is pure value — tp degree plus the frozen mesh and cost
-    config — so a fresh-but-equal :class:`CostModel` still hits.  The
-    cache stays tiny (one entry per searched degree); eviction is FIFO.
+    The key is pure value — tp degree plus the frozen mesh, cost config
+    and ZeRO stage — so a fresh-but-equal :class:`CostModel` still hits.
+    (The compiled columns are zero-invariant — gradient terms are byte
+    counts — but the finalize-time pricing memo is not, so stages key
+    separately.)  The cache stays tiny (one entry per searched degree);
+    eviction is FIFO.
     """
-    key = (tp, cost_model.mesh, cost_model.config)
+    key = (tp, cost_model.mesh, cost_model.config, zero_stage)
     deg = sk.degree_cache.get(key)
     if deg is not None:
         return deg, 0
@@ -635,13 +643,17 @@ class ColumnarEvaluator:
         registry: PatternRegistry,
         tp_degree: int,
         cost_model: CostModel,
+        zero_stage: int = 0,
     ) -> None:
         self.block = block
         self.registry = registry
         self.tp = tp_degree
         self.cost_model = cost_model
+        self.zero = zero_stage
         self._sk = _skeleton(block, registry)
-        self._deg, built = _degree(self._sk, registry, tp_degree, cost_model)
+        self._deg, built = _degree(
+            self._sk, registry, tp_degree, cost_model, zero_stage
+        )
         self.order = self._sk.order
         self.pos = self._sk.pos
         self.wpos = self._sk.wpos
@@ -799,21 +811,38 @@ class ColumnarEvaluator:
             )
         else:
             gkey = ((), ())
-        grad_time = d.grad_time_cache.get(gkey)
-        if grad_time is None:
+        cached = d.grad_time_cache.get(gkey)
+        if cached is None:
+            grad_collective = (
+                "reduce_scatter" if self.zero >= 1 else "all_reduce"
+            )
             grad_time = 0.0
             for axis, stream in (("dp", gkey[0]), ("all", gkey[1])):
                 buckets = pack_gradients(stream, cfg.packing)
                 grad_time += sum(
                     collective_time(
-                        "all_reduce",
+                        grad_collective,
                         b.nbytes,
                         d.groups[axis],
                         use_efficiency=cfg.use_efficiency,
                     )
                     for b in buckets
                 )
-            d.grad_time_cache[gkey] = grad_time
+            gather_time = 0.0
+            if self.zero >= 1:
+                for axis, stream in (("dp", gkey[0]), ("all", gkey[1])):
+                    gather_time += sum(
+                        collective_time(
+                            "all_gather",
+                            b.nbytes,
+                            d.groups[axis],
+                            use_efficiency=cfg.use_efficiency,
+                        )
+                        for b in pack_gradients(stream, cfg.packing)
+                    )
+            cached = (grad_time, gather_time)
+            d.grad_time_cache[gkey] = cached
+        grad_time, gather_time = cached
         if n:
             backward_compute = float(arrays.bc[t, n - 1])
             fwd_comm = float(arrays.FE[t, n - 1])
@@ -825,7 +854,7 @@ class ColumnarEvaluator:
             min(grad_time, backward_compute) if cfg.overlap_gradients else 0.0
         )
         exposed = grad_time - overlapped
-        comm = fwd_comm + bwd_comm + exposed
+        comm = (fwd_comm + bwd_comm + exposed) + gather_time
         if cfg.objective == "comm":
             return comm
         return (forward_compute + backward_compute) + comm
@@ -908,6 +937,7 @@ def columnar_block_search(
     max_plans: int,
     use_bound: bool,
     groups: List[Tuple[List[str], List[str]]],
+    zero_stage: int = 0,
 ) -> BlockSearchOutcome:
     """The Gray-order candidate sweep, evaluated in columnar chunks.
 
@@ -920,7 +950,7 @@ def columnar_block_search(
     identical to the per-candidate engine sweep.
     """
     out = BlockSearchOutcome()
-    ev = ColumnarEvaluator(block, registry, tp_degree, cost_model)
+    ev = ColumnarEvaluator(block, registry, tp_degree, cost_model, zero_stage)
     d = ev._deg
     sk = ev._sk
     pos = ev.pos

@@ -79,6 +79,9 @@ class CostBreakdown:
     backward_tp_comm: float = 0.0
     gradient_comm: float = 0.0        # dp-axis sync, before overlap
     overlapped_gradient_comm: float = 0.0  # what overlap hides
+    #: post-step all-gather of updated weight shards (ZeRO stage >= 1);
+    #: exposed — it sits between the optimizer step and the next forward.
+    weight_gather_comm: float = 0.0
     num_gradient_buckets: int = 0
 
     @property
@@ -89,12 +92,16 @@ class CostBreakdown:
     def comm_time(self) -> float:
         """Total communication on the critical path."""
         exposed_grad = self.gradient_comm - self.overlapped_gradient_comm
-        return self.forward_comm + self.backward_tp_comm + exposed_grad
+        return (
+            self.forward_comm + self.backward_tp_comm + exposed_grad
+        ) + self.weight_gather_comm
 
     @property
     def total_comm_time(self) -> float:
         """All communication, whether or not overlap hides it."""
-        return self.forward_comm + self.backward_tp_comm + self.gradient_comm
+        return (
+            self.forward_comm + self.backward_tp_comm + self.gradient_comm
+        ) + self.weight_gather_comm
 
     @property
     def iteration_time(self) -> float:
@@ -108,6 +115,7 @@ class CostBreakdown:
             "backward_tp_comm": self.backward_tp_comm,
             "gradient_comm": self.gradient_comm,
             "overlapped_gradient_comm": self.overlapped_gradient_comm,
+            "weight_gather_comm": self.weight_gather_comm,
             "compute_time": self.compute_time,
             "comm_time": self.comm_time,
             "iteration_time": self.iteration_time,
@@ -247,13 +255,20 @@ class CostModel:
                     grad_streams["all"].append(value)
 
         # gradient synchronisation: pack, then price over each group ------
+        # ZeRO stage >= 1 replaces the all-reduce with a reduce-scatter of
+        # the same buckets (each replica keeps only its 1/dp slice to step
+        # its optimizer shard) plus a post-step all-gather of the updated
+        # weights, priced separately below.  With zero_stage=0 the call
+        # sequence is byte-for-byte today's, keeping costs bit-identical.
+        zero = routed.plan.zero_stage
+        grad_collective = "reduce_scatter" if zero >= 1 else "all_reduce"
         grad_time = 0.0
         for axis, stream in grad_streams.items():
             buckets = pack_gradients(stream, cfg.packing)
             bd.num_gradient_buckets += len(buckets)
             grad_time += sum(
                 collective_time(
-                    "all_reduce",
+                    grad_collective,
                     b.nbytes,
                     groups[axis],
                     use_efficiency=cfg.use_efficiency,
@@ -261,6 +276,20 @@ class CostModel:
                 for b in buckets
             )
         bd.gradient_comm = grad_time
+        if zero >= 1:
+            gather_time = 0.0
+            for axis in ("dp", "all"):
+                stream = grad_streams[axis]
+                gather_time += sum(
+                    collective_time(
+                        "all_gather",
+                        b.nbytes,
+                        groups[axis],
+                        use_efficiency=cfg.use_efficiency,
+                    )
+                    for b in pack_gradients(stream, cfg.packing)
+                )
+            bd.weight_gather_comm = gather_time
         if cfg.overlap_gradients:
             bd.overlapped_gradient_comm = min(grad_time, bd.backward_compute)
         return bd

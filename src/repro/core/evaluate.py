@@ -248,11 +248,13 @@ class BlockEvaluator:
         registry: PatternRegistry,
         tp_degree: int,
         cost_model: CostModel,
+        zero_stage: int = 0,
     ) -> None:
         self.block = block
         self.registry = registry
         self.tp = tp_degree
         self.cost_model = cost_model
+        self.zero = zero_stage
         cfg = cost_model.config
         tp_group, dp_group, all_group = cost_model.groups(tp_degree)
         self.groups = {"tp": tp_group, "dp": dp_group, "all": all_group}
@@ -319,7 +321,8 @@ class BlockEvaluator:
         self._pattern_cache: Dict[Tuple[int, str], ShardingPattern] = {}
         self._node_cache: Dict[Tuple, object] = {}
         self._struct_cache: Dict[Tuple, object] = {}
-        self._grad_time_cache: Dict[Tuple, float] = {}
+        #: gradient-stream content -> (sync time, weight-gather time)
+        self._grad_time_cache: Dict[Tuple, Tuple[float, float]] = {}
         self._has_weights = [bool(node.weights) for node in self.nodes]
         self._last_assignment: Optional[Dict[str, str]] = None
         #: node routings actually executed (cache misses)
@@ -473,6 +476,7 @@ class BlockEvaluator:
                             conversions,
                             strict=True,
                             claims=claims_list,
+                            zero_stage=self.zero,
                         )
                     except RoutingError:
                         for ckey, _ in claims_list:
@@ -544,27 +548,46 @@ class BlockEvaluator:
         # finalisation; candidates that shard the same weights produce the
         # same streams, so the packed time is memoized on their content.
         gkey = (tuple(self._grad_dp), tuple(self._grad_all))
-        grad_time = self._grad_time_cache.get(gkey)
-        if grad_time is None:
+        cached = self._grad_time_cache.get(gkey)
+        if cached is None:
+            grad_collective = (
+                "reduce_scatter" if self.zero >= 1 else "all_reduce"
+            )
             grad_time = 0.0
             for axis, stream in (("dp", gkey[0]), ("all", gkey[1])):
                 buckets = pack_gradients(stream, cfg.packing)
                 grad_time += sum(
                     collective_time(
-                        "all_reduce",
+                        grad_collective,
                         b.nbytes,
                         self.groups[axis],
                         use_efficiency=cfg.use_efficiency,
                     )
                     for b in buckets
                 )
-            self._grad_time_cache[gkey] = grad_time
+            gather_time = 0.0
+            if self.zero >= 1:
+                for axis, stream in (("dp", gkey[0]), ("all", gkey[1])):
+                    gather_time += sum(
+                        collective_time(
+                            "all_gather",
+                            b.nbytes,
+                            self.groups[axis],
+                            use_efficiency=cfg.use_efficiency,
+                        )
+                        for b in pack_gradients(stream, cfg.packing)
+                    )
+            cached = (grad_time, gather_time)
+            self._grad_time_cache[gkey] = cached
+        grad_time, gather_time = cached
         backward_compute = self._bwd_compute[n]
         overlapped = (
             min(grad_time, backward_compute) if cfg.overlap_gradients else 0.0
         )
         exposed = grad_time - overlapped
-        comm = self._fwd_comm[n] + self._bwd_tp_comm[n] + exposed
+        comm = (
+            self._fwd_comm[n] + self._bwd_tp_comm[n] + exposed
+        ) + gather_time
         if cfg.objective == "comm":
             return comm
         return (self._fwd_compute[n] + backward_compute) + comm
@@ -594,6 +617,7 @@ def search_block_candidates(
     max_plans: int = 50_000,
     engine=True,
     use_bound: bool = True,
+    zero_stage: int = 0,
 ) -> BlockSearchOutcome:
     """Sweep every candidate assignment of *block* and keep the cheapest.
 
@@ -612,7 +636,8 @@ def search_block_candidates(
         "enumerate", block=block.name, tp=tp_degree, engine=tier
     ):
         out = _search_block_candidates(
-            block, registry, tp_degree, cost_model, max_plans, tier, use_bound
+            block, registry, tp_degree, cost_model, max_plans, tier,
+            use_bound, zero_stage,
         )
     if metrics.enabled():
         # Published once per sweep — never per candidate — so the engine's
@@ -635,6 +660,7 @@ def _search_block_candidates(
     max_plans: int,
     tier: str,
     use_bound: bool,
+    zero_stage: int,
 ) -> BlockSearchOutcome:
     out = BlockSearchOutcome()
     groups = decision_groups(block, registry, tp_degree)
@@ -649,13 +675,15 @@ def _search_block_candidates(
 
         return columnar_block_search(
             block, registry, tp_degree, cost_model, max_plans, use_bound,
-            groups,
+            groups, zero_stage,
         )
     plans = iter_gray_plans(groups, max_plans)
     if tier == "reference":
         for assignment, _changed in plans:
             out.candidates += 1
-            candidate = ShardingPlan.of(assignment, tp_degree)
+            candidate = ShardingPlan.of(
+                assignment, tp_degree, zero_stage=zero_stage
+            )
             try:
                 routed = route_plan(block, candidate, registry)
             except RoutingError:
@@ -667,7 +695,9 @@ def _search_block_candidates(
                 out.best_assignment = candidate.as_dict
         return out
 
-    evaluator = BlockEvaluator(block, registry, tp_degree, cost_model)
+    evaluator = BlockEvaluator(
+        block, registry, tp_degree, cost_model, zero_stage
+    )
     pos = evaluator.pos
     group_start = [
         min(pos[name] for name in names if name in pos)

@@ -159,10 +159,11 @@ def config_doc(
     tp_degrees: Optional[Sequence[int]] = None,
     use_pruning: bool = True,
     max_plans_per_block: int = 50_000,
+    zero_stage: int = 0,
     registry: PatternRegistry = DEFAULT_REGISTRY,
 ) -> Dict:
     cfg = cost_config or CostConfig()
-    return {
+    doc = {
         "kind": "search_config",
         "cost": {
             "batch_tokens": cfg.batch_tokens,
@@ -182,6 +183,12 @@ def config_doc(
         "max_plans_per_block": max_plans_per_block,
         "registry": _registry_doc(registry),
     }
+    # The ZeRO axis appears in the document only when it is on: every
+    # pre-existing cache key (and every zero_stage=0 request) hashes the
+    # byte-identical document it always did, so old entries keep hitting.
+    if zero_stage:
+        doc["zero_stage"] = zero_stage
+    return doc
 
 
 def config_fingerprint(
@@ -191,6 +198,7 @@ def config_fingerprint(
     tp_degrees: Optional[Sequence[int]] = None,
     use_pruning: bool = True,
     max_plans_per_block: int = 50_000,
+    zero_stage: int = 0,
     registry: PatternRegistry = DEFAULT_REGISTRY,
 ) -> str:
     """Stable digest of everything that steers the search besides graph/mesh."""
@@ -201,6 +209,7 @@ def config_fingerprint(
             tp_degrees=tp_degrees,
             use_pruning=use_pruning,
             max_plans_per_block=max_plans_per_block,
+            zero_stage=zero_stage,
             registry=registry,
         )
     )
@@ -229,6 +238,7 @@ def plan_cache_key(
     tp_degrees: Optional[Sequence[int]] = None,
     use_pruning: bool = True,
     max_plans_per_block: int = 50_000,
+    zero_stage: int = 0,
     registry: PatternRegistry = DEFAULT_REGISTRY,
 ) -> str:
     """The versioned cache key ``v<N>-g<...>-m<...>-c<...>``."""
@@ -241,6 +251,7 @@ def plan_cache_key(
             tp_degrees=tp_degrees,
             use_pruning=use_pruning,
             max_plans_per_block=max_plans_per_block,
+            zero_stage=zero_stage,
             registry=registry,
         ),
     )

@@ -23,19 +23,36 @@ class ShardingPlan:
 
     ``assignment`` keys are GraphNode names (within the searched block or
     the full node graph); nodes not mentioned default to ``replicate``.
+    ``zero_stage`` adds the optimizer-state sharding axis (ZeRO/GSPMD
+    weight-update sharding): 0 keeps today's replicated update (gradient
+    sync is a plain all-reduce), 1 shards optimizer state 1/dp (gradient
+    sync becomes reduce-scatter + a post-step all-gather of the updated
+    weights), 2 additionally shards the persisted gradients 1/dp.
     """
 
     assignment: Tuple[Tuple[str, str], ...]
     tp_degree: int = 1
     name: str = ""
+    zero_stage: int = 0
 
     def __post_init__(self) -> None:
         if self.tp_degree < 1:
             raise ValueError("tp_degree must be >= 1")
+        if self.zero_stage not in (0, 1, 2):
+            raise ValueError(
+                f"zero_stage must be 0, 1 or 2, got {self.zero_stage!r}"
+            )
 
     @staticmethod
-    def of(assignment: Dict[str, str], tp_degree: int = 1, name: str = "") -> "ShardingPlan":
-        return ShardingPlan(tuple(sorted(assignment.items())), tp_degree, name)
+    def of(
+        assignment: Dict[str, str],
+        tp_degree: int = 1,
+        name: str = "",
+        zero_stage: int = 0,
+    ) -> "ShardingPlan":
+        return ShardingPlan(
+            tuple(sorted(assignment.items())), tp_degree, name, zero_stage
+        )
 
     @property
     def as_dict(self) -> Dict[str, str]:
@@ -160,6 +177,10 @@ class RoutedPlan:
     @property
     def tp_degree(self) -> int:
         return self.plan.tp_degree
+
+    @property
+    def zero_stage(self) -> int:
+        return self.plan.zero_stage
 
     def events(self, phase: Optional[str] = None) -> List[CommEvent]:
         out: List[CommEvent] = []

@@ -175,6 +175,7 @@ def derive_plan(
     engine=True,
     use_bound: bool = True,
     jobs: int = 1,
+    zero_stage: int = 0,
 ) -> SearchResult:
     """Run the full TAP derivation (Algorithm 2) and return the best plan.
 
@@ -190,6 +191,12 @@ def derive_plan(
     library follows) — the selected plan and cost are identical for
     every setting of these knobs, because the reduction runs in a fixed
     order with strict first-wins tie-breaking.
+
+    ``zero_stage`` stamps the optimizer-state sharding axis onto every
+    candidate (and the winner): 0 is today's replicated update, 1/2 the
+    ZeRO-style reduce-scatter + post-step all-gather pricing.  With
+    ``zero_stage=0`` the search is bit-identical to before the knob
+    existed.
     """
     start = time.perf_counter()
     if jobs == 0:
@@ -241,6 +248,7 @@ def derive_plan(
             max_plans=max_plans_per_block,
             engine=tier,
             use_bound=use_bound,
+            zero_stage=zero_stage,
         )
 
     # Phase A — every (family, tp) candidate sweep is independent.
@@ -293,7 +301,9 @@ def derive_plan(
         else:
 
             def full_cost(extra: Dict[str, str]) -> Optional[float]:
-                merged = ShardingPlan.of({**assignment, **extra}, tp)
+                merged = ShardingPlan.of(
+                    {**assignment, **extra}, tp, zero_stage=zero_stage
+                )
                 try:
                     routed = route_plan(node_graph, merged, registry)
                 except RoutingError:
@@ -381,9 +391,13 @@ def derive_plan(
                 else:
                     assignment.update(o.best_assignment)
         if tier == "engine":
-            evaluator = BlockEvaluator(node_graph, registry, tp, cost_model)
+            evaluator = BlockEvaluator(
+                node_graph, registry, tp, cost_model, zero_stage
+            )
         elif tier == "columnar":
-            evaluator = ColumnarEvaluator(node_graph, registry, tp, cost_model)
+            evaluator = ColumnarEvaluator(
+                node_graph, registry, tp, cost_model, zero_stage
+            )
         else:
             evaluator = None
         if uncovered_block is not None:
@@ -401,7 +415,9 @@ def derive_plan(
                                 block="uncovered", tp=tp)
                 metrics.counter("search.cache_hits", record.cache_hits,
                                 block="uncovered", tp=tp)
-        full_plan = ShardingPlan.of(assignment, tp, name=f"tap-tp{tp}")
+        full_plan = ShardingPlan.of(
+            assignment, tp, name=f"tap-tp{tp}", zero_stage=zero_stage
+        )
         if evaluator is not None:
             with trace.span("price", tp=tp, engine=tier):
                 status, cost = evaluator.price(assignment)

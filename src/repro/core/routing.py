@@ -109,6 +109,7 @@ def route_node(
     conversions: Dict[Tuple[str, str], str],
     strict: bool = True,
     claims: Optional[List[Tuple[Tuple[str, str], str]]] = None,
+    zero_stage: int = 0,
 ) -> NodeShard:
     """Route a single node given its resolved pattern and input layouts.
 
@@ -205,7 +206,7 @@ def route_node(
         if spec is not None:
             input_spec = spec
             break
-    _apply_pattern_effects(shard, node, pattern, tp, input_spec)
+    _apply_pattern_effects(shard, node, pattern, tp, input_spec, zero_stage)
     return shard
 
 
@@ -259,6 +260,8 @@ def _route_plan(
     if base is not None and changed is not None:
         if base.plan.tp_degree != tp:
             raise ValueError("base plan must share the new plan's tp_degree")
+        if base.plan.zero_stage != plan.zero_stage:
+            raise ValueError("base plan must share the new plan's zero_stage")
         pos = {n: i for i, n in enumerate(order)}
         start = min((pos[n] for n in changed if n in pos), default=0)
         for name in order[:start]:
@@ -285,6 +288,7 @@ def _route_plan(
         shard = route_node(
             node, pattern, input_layouts, input_specs, tp,
             routed.conversions, strict=strict, claims=claims,
+            zero_stage=plan.zero_stage,
         )
         if claims:
             routed.claims[name] = claims
@@ -329,6 +333,7 @@ def _apply_pattern_effects(
     pattern: Optional[ShardingPattern],
     tp: int,
     input_spec: Optional[TensorSpec] = None,
+    zero_stage: int = 0,
 ) -> None:
     """Fill weight sizes, compute share and pattern-implied collectives."""
     # Weight accounting ------------------------------------------------
@@ -400,7 +405,10 @@ def _apply_pattern_effects(
     # Replicated trainable weights saw distinct tokens on every device →
     # all-reduce over the whole mesh.  Split weights synchronise their
     # shard across the dp replicas only (§4.6 trainable-only rule: frozen
-    # weights emit nothing).
+    # weights emit nothing).  Under ZeRO (stage >= 1) the sync is a
+    # reduce-scatter instead: each replica keeps only the 1/dp slice its
+    # optimizer shard steps; the post-step all-gather of updated weights
+    # is priced at the plan level, not per node.
     if local_params > 0:
         grad_dtype = primary.dtype if primary is not None else "float32"
         grad_spec = TensorSpec(
@@ -409,7 +417,7 @@ def _apply_pattern_effects(
         shard.events.append(
             CommEvent(
                 "backward",
-                "all_reduce",
+                "reduce_scatter" if zero_stage >= 1 else "all_reduce",
                 "dp" if split_weights else "all",
                 grad_spec,
                 False,

@@ -82,6 +82,10 @@ def plan_to_json(plan: ShardingPlan, indent: Optional[int] = 2) -> str:
         "tp_degree": plan.tp_degree,
         "assignment": dict(plan.assignment),
     }
+    # The ZeRO axis is serialised only when on: documents written before
+    # (or without) optimizer-state sharding stay byte-identical.
+    if plan.zero_stage:
+        doc["zero_stage"] = plan.zero_stage
     return json.dumps(doc, indent=indent, sort_keys=True)
 
 
@@ -116,6 +120,9 @@ def plan_from_json(
         raise PlanLoadError("assignment must map node names to pattern names")
     if not isinstance(tp_degree, int) or tp_degree < 1:
         raise PlanLoadError(f"invalid tp_degree {tp_degree!r}")
+    zero_stage = doc.get("zero_stage", 0)
+    if not isinstance(zero_stage, int) or zero_stage not in (0, 1, 2):
+        raise PlanLoadError(f"invalid zero_stage {zero_stage!r}")
 
     if node_graph is not None:
         weight_names = {n.name for n in node_graph.weight_nodes()}
@@ -124,7 +131,12 @@ def plan_from_json(
             raise PlanLoadError(
                 f"plan references nodes absent from the graph: {unknown[:5]}"
             )
-    plan = ShardingPlan.of(assignment, tp_degree, name=str(doc.get("name", "")))
+    plan = ShardingPlan.of(
+        assignment,
+        tp_degree,
+        name=str(doc.get("name", "")),
+        zero_stage=zero_stage,
+    )
     if node_graph is not None and verify:
         _verify_loaded_plan(node_graph, plan)
     return plan
@@ -232,14 +244,17 @@ def routed_to_json(routed: RoutedPlan, indent: Optional[int] = 2) -> str:
             "output_spec": _spec_to_doc(s.output_spec),
             "events": [_event_to_doc(ev) for ev in s.events],
         }
+    plan_doc = {
+        "name": routed.plan.name,
+        "tp_degree": routed.plan.tp_degree,
+        "assignment": dict(routed.plan.assignment),
+    }
+    if routed.plan.zero_stage:
+        plan_doc["zero_stage"] = routed.plan.zero_stage
     doc = {
         "schema": SCHEMA_VERSION,
         "kind": "repro.routed_plan",
-        "plan": {
-            "name": routed.plan.name,
-            "tp_degree": routed.plan.tp_degree,
-            "assignment": dict(routed.plan.assignment),
-        },
+        "plan": plan_doc,
         "order": list(routed.order),
         "conversions": [
             [src, layout, coll]
@@ -294,6 +309,7 @@ def routed_from_doc(
             dict(plan_doc["assignment"]),
             int(plan_doc["tp_degree"]),
             name=str(plan_doc.get("name", "")),
+            zero_stage=int(plan_doc.get("zero_stage", 0)),
         )
         routed = RoutedPlan(plan=plan)
         routed.order = [str(n) for n in doc["order"]]
@@ -496,9 +512,13 @@ _SIM_PROFILE_FIELDS = (
     "comm_time",
     "exposed_comm_time",
     "gradient_sync_time",
+    "weight_gather_time",
     "num_gradient_buckets",
     "overlap_efficiency",
 )
+
+#: fields absent from envelopes written before they existed; missing means 0.
+_SIM_PROFILE_OPTIONAL = frozenset({"weight_gather_time"})
 
 
 @dataclasses.dataclass
@@ -571,6 +591,8 @@ def _check_sim_profile(entry) -> Dict:
     if not isinstance(prof, dict):
         raise PlanLoadError(f"profile entry {label!r} carries no profile")
     for fld in _SIM_PROFILE_FIELDS:
+        if fld in _SIM_PROFILE_OPTIONAL and fld not in prof:
+            continue
         try:
             value = float(prof[fld])
         except (KeyError, TypeError, ValueError) as exc:

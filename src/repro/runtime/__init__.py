@@ -13,6 +13,14 @@ from .comm import (
 )
 from .executor import EquivalenceReport, ExecutionError, ShardedExecutor, SUPPORTED_OPS
 from .backward import GradientChecker, GradientReport
+from .optimizer import (
+    AdamConfig,
+    SGDConfig,
+    flatten_params,
+    replicated_step,
+    unflatten_params,
+    zero_step,
+)
 
 __all__ = [
     "TrafficMeter",
@@ -30,4 +38,10 @@ __all__ = [
     "SUPPORTED_OPS",
     "GradientChecker",
     "GradientReport",
+    "AdamConfig",
+    "SGDConfig",
+    "flatten_params",
+    "unflatten_params",
+    "replicated_step",
+    "zero_step",
 ]

@@ -1,0 +1,219 @@
+"""ZeRO-style sharded optimizer step on the numpy runtime.
+
+The planner's ``zero_stage`` axis claims that swapping the gradient
+all-reduce for a reduce-scatter and letting each data-parallel replica
+update only its 1/dp slice of the (flat) parameter space — then
+all-gathering the updated weights — computes *the same training step* as
+the replicated baseline.  This module makes that claim checkable
+numerically, the same way :class:`repro.runtime.ShardedExecutor` checks
+forward-pass equivalence:
+
+* :func:`replicated_step` — the baseline every replica runs today:
+  all-reduce each gradient tensor, apply the full elementwise update.
+* :func:`zero_step` — the sharded step: flatten the gradients into one
+  vector (padded to a multiple of ``dp``), reduce-scatter it, update the
+  local shard of parameters and optimizer state, all-gather the updated
+  flat parameters.
+
+Both paths sum gradients with the identical ``np.sum(np.stack(...))``
+reduction (the collectives in :mod:`repro.runtime.comm`), and both
+updates are purely elementwise, so slicing commutes with updating and the
+two paths agree **bit for bit** — not merely within tolerance.  The
+parity tests in ``tests/runtime`` assert exactly that across the model
+zoo's parameter shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .comm import TrafficMeter, all_gather, all_reduce, reduce_scatter
+
+__all__ = [
+    "AdamConfig",
+    "SGDConfig",
+    "flatten_params",
+    "unflatten_params",
+    "replicated_step",
+    "zero_step",
+]
+
+
+@dataclass(frozen=True)
+class AdamConfig:
+    """Adam with bias correction — two state slots (m, v) per parameter."""
+
+    lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+
+    #: bytes of optimizer state per parameter byte (the memory model's
+    #: ``optimizer_factor``): m and v, same dtype as the parameter.
+    state_factor = 2.0
+
+
+@dataclass(frozen=True)
+class SGDConfig:
+    """SGD with momentum — one state slot per parameter."""
+
+    lr: float = 1e-2
+    momentum: float = 0.9
+
+    state_factor = 1.0
+
+
+def _init_state(like: np.ndarray, config) -> Dict[str, np.ndarray]:
+    if isinstance(config, AdamConfig):
+        return {"m": np.zeros_like(like), "v": np.zeros_like(like)}
+    return {"mom": np.zeros_like(like)}
+
+
+def _apply_update(
+    param: np.ndarray,
+    grad: np.ndarray,
+    state: Optional[Dict[str, np.ndarray]],
+    step: int,
+    config,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """One elementwise optimizer update; returns (new_param, new_state).
+
+    Every operation is elementwise (scalar coefficients aside), which is
+    what makes the ZeRO decomposition exact: updating a slice of the flat
+    parameter vector produces the same bits as slicing the full update.
+    """
+    if state is None:
+        state = _init_state(param, config)
+    if isinstance(config, AdamConfig):
+        m = config.beta1 * state["m"] + (1.0 - config.beta1) * grad
+        v = config.beta2 * state["v"] + (1.0 - config.beta2) * (grad * grad)
+        m_hat = m / (1.0 - config.beta1 ** step)
+        v_hat = v / (1.0 - config.beta2 ** step)
+        new_param = param - config.lr * m_hat / (np.sqrt(v_hat) + config.eps)
+        return new_param, {"m": m, "v": v}
+    mom = config.momentum * state["mom"] + grad
+    return param - config.lr * mom, {"mom": mom}
+
+
+# ----------------------------------------------------------------------
+# flat parameter space
+# ----------------------------------------------------------------------
+
+def flatten_params(
+    params: Dict[str, np.ndarray]
+) -> Tuple[np.ndarray, List[Tuple[str, Tuple[int, ...], int]]]:
+    """Concatenate parameters (sorted by name) into one flat vector.
+
+    Returns ``(flat, spec)`` where *spec* records each tensor's name,
+    shape and size so :func:`unflatten_params` can invert the layout.
+    """
+    spec = [(name, params[name].shape, params[name].size) for name in sorted(params)]
+    if not spec:
+        return np.zeros(0), []
+    flat = np.concatenate([params[name].reshape(-1) for name, _, _ in spec])
+    return flat, spec
+
+
+def unflatten_params(
+    flat: np.ndarray, spec: Sequence[Tuple[str, Tuple[int, ...], int]]
+) -> Dict[str, np.ndarray]:
+    """Invert :func:`flatten_params`."""
+    out: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name, shape, size in spec:
+        out[name] = flat[offset : offset + size].reshape(shape).copy()
+        offset += size
+    if offset != flat.size:
+        raise ValueError(
+            f"flat vector has {flat.size} elements; spec covers {offset}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# the two step implementations under test
+# ----------------------------------------------------------------------
+
+def replicated_step(
+    params: Dict[str, np.ndarray],
+    device_grads: Sequence[Dict[str, np.ndarray]],
+    state: Optional[Dict[str, Dict[str, np.ndarray]]],
+    step: int,
+    config,
+    meter: TrafficMeter | None = None,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, Dict[str, np.ndarray]]]:
+    """The baseline: all-reduce each gradient, update everything everywhere.
+
+    *device_grads* holds one gradient dict per data-parallel replica;
+    *state* maps parameter names to optimizer-state dicts (``None`` on the
+    first step).  Returns the updated parameters and state — identical on
+    every replica, so a single copy represents all of them.
+    """
+    names = sorted(params)
+    state = state or {}
+    new_params: Dict[str, np.ndarray] = {}
+    new_state: Dict[str, Dict[str, np.ndarray]] = {}
+    for name in names:
+        summed = all_reduce([g[name] for g in device_grads], meter)[0]
+        new_params[name], new_state[name] = _apply_update(
+            params[name], summed, state.get(name), step, config
+        )
+    return new_params, new_state
+
+
+def zero_step(
+    params: Dict[str, np.ndarray],
+    device_grads: Sequence[Dict[str, np.ndarray]],
+    shard_state: Optional[List[Dict[str, np.ndarray]]],
+    step: int,
+    config,
+    meter: TrafficMeter | None = None,
+) -> Tuple[Dict[str, np.ndarray], List[Dict[str, np.ndarray]]]:
+    """The sharded step: reduce-scatter grads, update 1/dp each, all-gather.
+
+    Each of the ``dp = len(device_grads)`` replicas owns one contiguous
+    shard of the flat parameter space and the optimizer state for that
+    shard only (*shard_state* is one state dict per replica, ``None`` on
+    the first step).  The flat space is zero-padded to a multiple of
+    ``dp``; padded elements carry zero gradient and zero state, so their
+    "update" never leaks into real parameters.
+
+    Returns the gathered full parameters (identical on every replica)
+    plus the per-replica shard states for the next step.
+    """
+    dp = len(device_grads)
+    if dp < 1:
+        raise ValueError("need at least one replica")
+    flat_params, spec = flatten_params(params)
+    pad = (-flat_params.size) % dp
+    if pad:
+        flat_params = np.concatenate(
+            [flat_params, np.zeros(pad, dtype=flat_params.dtype)]
+        )
+    flat_grads = []
+    for g in device_grads:
+        fg, gspec = flatten_params(g)
+        if gspec != spec:
+            raise ValueError("gradient tensors do not match the parameters")
+        if pad:
+            fg = np.concatenate([fg, np.zeros(pad, dtype=fg.dtype)])
+        flat_grads.append(fg)
+
+    grad_shards = reduce_scatter(flat_grads, axis=0, meter=meter)
+    param_shards = np.split(flat_params, dp)
+    states = shard_state or [None] * dp
+    new_shards: List[np.ndarray] = []
+    new_states: List[Dict[str, np.ndarray]] = []
+    for rank in range(dp):
+        shard, st = _apply_update(
+            param_shards[rank], grad_shards[rank], states[rank], step, config
+        )
+        new_shards.append(shard)
+        new_states.append(st)
+    gathered = all_gather(new_shards, axis=0, meter=meter)[0]
+    if pad:
+        gathered = gathered[:-pad]
+    return unflatten_params(gathered, spec), new_states

@@ -74,6 +74,7 @@ class PlanRequest:
     use_pruning: bool = True
     engine: str = "engine"
     jobs: int = 1
+    zero_stage: int = 0
 
     def __post_init__(self) -> None:
         if self.fabric not in FABRICS:
@@ -87,6 +88,10 @@ class PlanRequest:
             )
         if self.batch_tokens < 1:
             raise ValueError(f"batch_tokens must be >= 1, got {self.batch_tokens}")
+        if self.zero_stage not in (0, 1, 2):
+            raise ValueError(
+                f"zero_stage must be 0, 1 or 2, got {self.zero_stage!r}"
+            )
         # Fail fast on a bad tier name here, not in the worker process.
         normalize_engine(self.engine)
         if self.tp_degrees is not None:
@@ -102,13 +107,14 @@ class PlanRequest:
 
     def label(self) -> str:
         """Human-readable tag stored alongside the opaque cache key."""
+        zero = f"/zero{self.zero_stage}" if self.zero_stage else ""
         return (
             f"{self.model}@{self.mesh_nodes}x{self.mesh_gpus}"
-            f"/{self.fabric}/bt{self.batch_tokens}"
+            f"/{self.fabric}/bt{self.batch_tokens}{zero}"
         )
 
     def to_doc(self) -> Dict:
-        return {
+        doc = {
             "model": self.model,
             "mesh_nodes": self.mesh_nodes,
             "mesh_gpus": self.mesh_gpus,
@@ -120,6 +126,11 @@ class PlanRequest:
             "engine": self.engine,
             "jobs": self.jobs,
         }
+        # Emitted only when on, so documents exchanged with (and recorded
+        # by) pre-ZeRO clients stay byte-identical.
+        if self.zero_stage:
+            doc["zero_stage"] = self.zero_stage
+        return doc
 
     @classmethod
     def from_doc(cls, doc: Dict) -> "PlanRequest":
@@ -304,6 +315,7 @@ def request_fingerprints(
             min_duplicate=request.min_duplicate,
             tp_degrees=request.tp_degrees,
             use_pruning=request.use_pruning,
+            zero_stage=getattr(request, "zero_stage", 0),
         ),
     }
 

@@ -69,6 +69,7 @@ def execute_request(doc: Dict) -> Dict:
         use_pruning=request.use_pruning,
         engine=request.engine,
         jobs=request.jobs,
+        zero_stage=request.zero_stage,
     )
     routed = search.routed  # materialise before serialising
     wall = time.perf_counter() - wall_start

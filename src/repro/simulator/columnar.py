@@ -106,6 +106,11 @@ class ColumnarTape:
     bucket_lo_tab: Dict[str, np.ndarray]
     bucket_secs_tab: Dict[str, np.ndarray]
     bucket_name_tab: Dict[str, np.ndarray]
+    #: ZeRO weight-gather tables, per axis (empty arrays when the plan's
+    #: ``zero_stage`` is 0): one all-gather per gradient bucket, chained on
+    #: the comm channel after the last reduction.
+    gather_secs_tab: Dict[str, np.ndarray]
+    gather_name_tab: Dict[str, np.ndarray]
     #: int32 ``(start, period, repeats)`` rows covering the signature
     #: sequence of ``routed.order`` (tandem repeats from detect_segments).
     seg_tab: np.ndarray
@@ -113,6 +118,7 @@ class ColumnarTape:
     compute_busy: float
     comm_busy: float
     gradient_sync: float
+    weight_gather: float
     num_buckets: int
     #: provenance / diagnostics.
     nodes: int
@@ -175,11 +181,15 @@ def _flatten(
             for axis, _nb in grads:
                 grad_src[axis].append(src)
 
+    zero_on = routed.plan.zero_stage >= 1
     bucket_axes: List[str] = []
     bucket_lo_tab: Dict[str, np.ndarray] = {}
     bucket_secs_tab: Dict[str, np.ndarray] = {}
     bucket_name_tab: Dict[str, np.ndarray] = {}
+    gather_secs_tab: Dict[str, np.ndarray] = {}
+    gather_name_tab: Dict[str, np.ndarray] = {}
     bucket_secs_all: List[float] = []
+    gather_secs_all: List[float] = []
     num_buckets = 0
     for axis, rows in bucket_plan:
         bucket_axes.append(axis)
@@ -191,6 +201,18 @@ def _flatten(
         )
         bucket_secs_all.extend(secs_list)
         num_buckets += len(rows)
+        if zero_on:
+            # one weight all-gather per bucket; the name is interned only
+            # when ZeRO is on so zero-off tapes stay byte-identical
+            gather_list = [r[4] for r in rows]
+            gather_secs_tab[axis] = np.asarray(gather_list, dtype=np.float64)
+            gather_name_tab[axis] = np.asarray(
+                [nid("wgather:" + axis)] * len(rows), dtype=np.int32
+            )
+            gather_secs_all.extend(gather_list)
+        else:
+            gather_secs_tab[axis] = np.empty(0, dtype=np.float64)
+            gather_name_tab[axis] = np.empty(0, dtype=np.int32)
 
     fwd_dur_col = np.asarray(f_dur, dtype=np.float64)
     fwd_ch_col = np.asarray(f_ch, dtype=np.int8)
@@ -206,14 +228,15 @@ def _flatten(
     segments_detected, nodes_replayed = stats
 
     # Busy sums replicate the replay loop's fold order exactly: forward
-    # comms, backward comms, bucket rows on the comm channel; forward then
-    # backward computes on the compute channel.
+    # comms, backward comms, bucket rows, then weight gathers on the comm
+    # channel; forward then backward computes on the compute channel.
     comm_busy = _fold(
         np.concatenate(
             (
                 fwd_dur_col[fwd_comm_idx],
                 bwd_dur_col[bwd_comm_idx],
                 np.asarray(bucket_secs_all, dtype=np.float64),
+                np.asarray(gather_secs_all, dtype=np.float64),
             )
         )
     )
@@ -245,10 +268,13 @@ def _flatten(
         bucket_lo_tab=bucket_lo_tab,
         bucket_secs_tab=bucket_secs_tab,
         bucket_name_tab=bucket_name_tab,
+        gather_secs_tab=gather_secs_tab,
+        gather_name_tab=gather_name_tab,
         seg_tab=seg_tab,
         compute_busy=compute_busy,
         comm_busy=comm_busy,
         gradient_sync=gradient_sync,
+        weight_gather=_fold(gather_secs_all),
         num_buckets=num_buckets,
         nodes=len(routed.order),
         segments_detected=segments_detected,
@@ -409,6 +435,32 @@ def columnar_tape_invariants(routed: RoutedPlan, tape) -> List[str]:
             )
         if secs.size and float(secs.min()) < 0.0:
             problems.append(f"negative bucket duration on axis {axis!r}")
+        gather = tape.gather_secs_tab.get(axis)
+        gather_nm = tape.gather_name_tab.get(axis)
+        if gather is None or gather_nm is None:
+            problems.append(f"missing weight-gather table for axis {axis!r}")
+        elif routed.plan.zero_stage == 0:
+            if gather.size or gather_nm.size:
+                problems.append(
+                    f"weight-gather rows on {axis!r} with ZeRO off"
+                )
+        else:
+            if len(gather) != len(lo) or len(gather_nm) != len(lo):
+                problems.append(
+                    f"weight-gather table on {axis!r} does not cover "
+                    f"the bucket rows"
+                )
+            if gather.size and float(gather.min()) < 0.0:
+                problems.append(
+                    f"negative weight-gather duration on axis {axis!r}"
+                )
+            if gather_nm.size and (
+                int(gather_nm.min()) < 0
+                or int(gather_nm.max()) >= len(tape.names)
+            ):
+                problems.append(
+                    f"weight-gather names on {axis!r} outside the name table"
+                )
     for axis in GRAD_AXES:
         if tape.grad_src[axis].size and axis not in tape.bucket_axes:
             problems.append(
@@ -481,6 +533,20 @@ def _profiles_from_tapes(tapes: Sequence[ColumnarTape]):
                 starts.append(start)
             bucket_starts[axis] = starts
 
+        # ZeRO weight all-gathers chain after the last reduction (same
+        # ordering as the eager tiers: all buckets first, then gathers)
+        gather_starts: Dict[str, List[float]] = {}
+        for axis in tape.bucket_axes:
+            gather_chain = tape.gather_secs_tab[axis].tolist()
+            if not gather_chain:
+                continue
+            starts = []
+            for secs in gather_chain:
+                start = comm_free
+                comm_free = start + secs
+                starts.append(start)
+            gather_starts[axis] = starts
+
         iteration_time = comp_free if comp_free > comm_free else comm_free
         prof = IterationProfile()
         prof.forward_time = forward_time
@@ -490,12 +556,13 @@ def _profiles_from_tapes(tapes: Sequence[ColumnarTape]):
         prof.comm_time = tape.comm_busy
         prof.exposed_comm_time = max(0.0, iteration_time - tape.compute_busy)
         prof.gradient_sync_time = tape.gradient_sync
+        prof.weight_gather_time = tape.weight_gather
         prof.num_gradient_buckets = tape.num_buckets
         prof.segments_detected = tape.segments_detected
         prof.nodes_replayed = tape.nodes_replayed
         prof.engine = _LazyEngine(
-            tape, cum_fwd, cum_bwd, bucket_starts, comp_free, comm_free,
-            iteration_time,
+            tape, cum_fwd, cum_bwd, bucket_starts, gather_starts,
+            comp_free, comm_free, iteration_time,
         )
         profiles.append(prof)
     return profiles
@@ -513,18 +580,19 @@ class _LazyEngine:
     """
 
     __slots__ = (
-        "_tape", "_cum_fwd", "_cum_bwd", "_bucket_starts",
+        "_tape", "_cum_fwd", "_cum_bwd", "_bucket_starts", "_gather_starts",
         "_comp_free", "_comm_free", "_makespan", "_engine",
     )
 
     def __init__(
-        self, tape, cum_fwd, cum_bwd, bucket_starts, comp_free, comm_free,
-        makespan,
+        self, tape, cum_fwd, cum_bwd, bucket_starts, gather_starts,
+        comp_free, comm_free, makespan,
     ):
         self._tape = tape
         self._cum_fwd = cum_fwd
         self._cum_bwd = cum_bwd
         self._bucket_starts = bucket_starts
+        self._gather_starts = gather_starts
         self._comp_free = comp_free
         self._comm_free = comm_free
         self._makespan = makespan
@@ -566,6 +634,14 @@ class _LazyEngine:
             secs_chain = tape.bucket_secs_tab[axis].tolist()
             name_chain = tape.bucket_name_tab[axis].tolist()
             for n, s, d in zip(name_chain, self._bucket_starts[axis], secs_chain):
+                comm_log.append(new(T, (names[n], s, d)))
+        for axis in tape.bucket_axes:
+            starts = self._gather_starts.get(axis)
+            if not starts:
+                continue
+            secs_chain = tape.gather_secs_tab[axis].tolist()
+            name_chain = tape.gather_name_tab[axis].tolist()
+            for n, s, d in zip(name_chain, starts, secs_chain):
                 comm_log.append(new(T, (names[n], s, d)))
 
         engine = Engine()

@@ -102,6 +102,7 @@ class IterationProfile:
     comm_time: float = 0.0            # busy communication, both phases
     exposed_comm_time: float = 0.0    # comm not hidden behind compute
     gradient_sync_time: float = 0.0   # busy time of gradient buckets
+    weight_gather_time: float = 0.0   # busy time of ZeRO weight all-gathers
     num_gradient_buckets: int = 0
     #: replay diagnostics (zero on the reference path): how many repeated
     #: segments the tape compiler found and how many node instances were
@@ -127,6 +128,7 @@ class IterationProfile:
             "comm_time": self.comm_time,
             "exposed_comm_time": self.exposed_comm_time,
             "gradient_sync_time": self.gradient_sync_time,
+            "weight_gather_time": self.weight_gather_time,
             "num_gradient_buckets": self.num_gradient_buckets,
             "overlap_efficiency": self.overlap_efficiency,
         }
@@ -256,8 +258,11 @@ def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, 
       task_name, seconds, grads)`` where ``grads`` holds the overlappable
       ``(axis, nbytes)`` gradient packets;
     * ``bucket_plan`` — per axis, pre-packed gradient buckets as
-      ``(lo, hi, task_name, seconds)`` member slices into the packet
-      stream;
+      ``(lo, hi, task_name, sync_seconds, gather_seconds)`` member slices
+      into the packet stream; ``sync_seconds`` prices the reduction
+      (all-reduce, or reduce-scatter under ``plan.zero_stage >= 1``) and
+      ``gather_seconds`` the post-step weight all-gather (0.0 when the
+      ZeRO axis is off);
     * ``stats`` — ``(segments_detected, nodes_replayed)`` from
       :func:`detect_segments` over the signature sequence;
     * ``sig_ids`` — the per-node signature id sequence itself (the
@@ -355,17 +360,25 @@ def _compile_tape(routed: RoutedPlan, mesh: Mesh, cfg: CostConfig, rec, groups, 
     for entry in bwd_tape:
         for axis, nbytes in entry[3]:
             stream[axis].append(nbytes)
-    bucket_plan: List[Tuple[str, List[Tuple[int, int, str, float]]]] = []
+    zero = routed.plan.zero_stage
+    grad_collective = "reduce_scatter" if zero >= 1 else "all_reduce"
+    bucket_plan: List[Tuple[str, List[Tuple[int, int, str, float, float]]]] = []
     for axis in ("dp", "all"):
         sizes = stream[axis]
         if not sizes:
             continue
-        rows: List[Tuple[int, int, str, float]] = []
+        rows: List[Tuple[int, int, str, float, float]] = []
         lo = 0
         for bucket in _packed(tuple(sizes), cfg.packing):
             hi = lo + bucket.num_tensors
             rows.append(
-                (lo, hi, "grad:" + axis, price("all_reduce", bucket.nbytes, axis))
+                (
+                    lo,
+                    hi,
+                    "grad:" + axis,
+                    price(grad_collective, bucket.nbytes, axis),
+                    price("all_gather", bucket.nbytes, axis) if zero >= 1 else 0.0,
+                )
             )
             lo = hi
         bucket_plan.append((axis, rows))
@@ -389,9 +402,12 @@ def tape_invariants(routed: RoutedPlan, compiled) -> List[str]:
 
     * one forward and one backward entry per node of ``routed.order``,
       with backward entries in exact reverse order;
-    * no negative duration anywhere (compute, collectives, buckets);
+    * no negative duration anywhere (compute, collectives, buckets,
+      weight gathers);
     * bucket rows per axis are contiguous, start at 0, and cover exactly
-      the gradient packets the backward tape emits on that axis.
+      the gradient packets the backward tape emits on that axis;
+    * weight-gather durations are exactly 0.0 when the plan's ZeRO axis
+      is off (``plan.zero_stage == 0``).
     """
     problems: List[str] = []
     try:
@@ -443,7 +459,7 @@ def tape_invariants(routed: RoutedPlan, compiled) -> List[str]:
             problems.append(f"bucket plan names unknown axis {axis!r}")
             continue
         expect_lo = 0
-        for lo, hi, task_name, secs in rows:
+        for lo, hi, task_name, secs, gather_secs in rows:
             if lo != expect_lo or hi <= lo:
                 problems.append(
                     f"bucket rows on axis {axis!r} are not contiguous "
@@ -451,6 +467,14 @@ def tape_invariants(routed: RoutedPlan, compiled) -> List[str]:
                 )
             if secs < 0:
                 problems.append(f"negative bucket duration at {task_name!r}")
+            if gather_secs < 0:
+                problems.append(
+                    f"negative weight-gather duration at {task_name!r}"
+                )
+            if routed.plan.zero_stage == 0 and gather_secs != 0.0:
+                problems.append(
+                    f"weight-gather priced at {task_name!r} with ZeRO off"
+                )
             expect_lo = hi
         covered[axis] = expect_lo
     for axis, count in grad_counts.items():
@@ -597,13 +621,25 @@ def _simulate_replay(
     for axis, rows in bucket_plan:
         ends = dp_ends if axis == "dp" else all_ends
         num_buckets += len(rows)
-        for lo, hi, task_name, secs in rows:
+        for lo, hi, task_name, secs, _gather in rows:
             ready = ends[lo] if hi - lo == 1 else max(ends[lo:hi])
             start = comm_free if comm_free > ready else ready
             ma(new(T, (task_name, start, secs)))
             comm_free = start + secs
             comm_busy += secs
             gradient_sync_time += secs
+
+    # ---- ZeRO weight all-gathers: chain after the last reduction ----------
+    weight_gather_time = 0.0
+    if routed.plan.zero_stage >= 1:
+        for axis, rows in bucket_plan:
+            task_name = "wgather:" + axis
+            for _lo, _hi, _grad_name, _secs, gather in rows:
+                start = comm_free
+                ma(new(T, (task_name, start, gather)))
+                comm_free = start + gather
+                comm_busy += gather
+                weight_gather_time += gather
 
     iteration_time = comp_free if comp_free > comm_free else comm_free
 
@@ -621,6 +657,7 @@ def _simulate_replay(
     prof.comm_time = comm_busy
     prof.exposed_comm_time = max(0.0, iteration_time - prof.compute_time)
     prof.gradient_sync_time = gradient_sync_time
+    prof.weight_gather_time = weight_gather_time
     prof.num_gradient_buckets = num_buckets
     prof.segments_detected = segments_detected
     prof.nodes_replayed = nodes_replayed
@@ -707,7 +744,12 @@ def _simulate_reference(
                 grad_packets[ev.axis].append((task.end, ev.nbytes(tokens)))
 
     # Fuse packets in production order and submit each bucket when its last
-    # member is available (§4.7.1's pipelining of sync with updates).
+    # member is available (§4.7.1's pipelining of sync with updates).  With
+    # the ZeRO axis on, the reduction is a reduce-scatter — each replica
+    # keeps its 1/dp gradient slice for the sharded optimizer step.
+    grad_collective = (
+        "reduce_scatter" if routed.plan.zero_stage >= 1 else "all_reduce"
+    )
     for axis, packets in grad_packets.items():
         if not packets:
             continue
@@ -720,11 +762,28 @@ def _simulate_reference(
             idx += bucket.num_tensors
             ready = max(m[0] for m in members)
             seconds = collective_time(
-                "all_reduce", bucket.nbytes, groups[axis],
+                grad_collective, bucket.nbytes, groups[axis],
                 use_efficiency=cfg.use_efficiency,
             )
             t = comm.submit(f"grad:{axis}", seconds, ready=ready)
             prof.gradient_sync_time += t.duration
+
+    # Post-step weight all-gathers: every replica re-materialises the full
+    # updated weights from the 1/dp shards, one gather per gradient bucket,
+    # chained on the comm channel after the last reduction.
+    if routed.plan.zero_stage >= 1:
+        for axis in ("dp", "all"):
+            packets = grad_packets[axis]
+            if not packets:
+                continue
+            sizes = [p[1] for p in packets]
+            for bucket in pack_gradients(sizes, cfg.packing):
+                seconds = collective_time(
+                    "all_gather", bucket.nbytes, groups[axis],
+                    use_efficiency=cfg.use_efficiency,
+                )
+                t = comm.submit(f"wgather:{axis}", seconds, ready=0.0)
+                prof.weight_gather_time += t.duration
 
     prof.iteration_time = engine.makespan
     prof.backward_time = prof.iteration_time - prof.forward_time

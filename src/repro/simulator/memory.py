@@ -13,6 +13,10 @@ Memory per device decomposes into:
 * **communication buffers** — the largest single in-flight collective
   output (NCCL-style fused buffers are reused, so the peak is the max,
   not the sum).
+
+With ZeRO-style optimizer-state sharding (``plan.zero_stage >= 1``) each
+data-parallel replica keeps only a 1/dp slice of the optimizer state;
+stage 2 shards the resident gradients the same way.
 """
 
 from __future__ import annotations
@@ -118,6 +122,14 @@ def memory_per_device(
 
     report.gradients = report.weights
     report.optimizer = int(optimizer_factor * report.weights)
+    # ZeRO-style optimizer-state sharding: each of the dp replicas owns a
+    # 1/dp slice of the optimizer state (stage >= 1) and, at stage >= 2,
+    # of the gradients too — ceil-division so dp == 1 is an exact no-op.
+    zero = routed.plan.zero_stage
+    if zero >= 1 and dp > 1:
+        report.optimizer = (report.optimizer + dp - 1) // dp
+        if zero >= 2:
+            report.gradients = (report.gradients + dp - 1) // dp
     # AMP master copies sit beside the working weights and are neither
     # gradient nor optimizer state (those were sized from the working set).
     report.weights += extra_master_bytes

@@ -71,6 +71,7 @@ ALL_RULES: Dict[str, str] = {
     "plan/unknown-node": "an assignment to a missing/weightless node would be silently ignored",
     "plan/unknown-pattern": "an unknown pattern name can never route",
     "plan/mesh-degree": "tp must divide the device count or no group factorisation exists",
+    "plan/zero-stage": "a ZeRO stage outside {0, 1, 2} has no defined sharding semantics",
     "plan/divisibility": "uneven shards break the SPMD same-shape guarantee",
     "plan/chain": "a hop outside the SRC conversion table has no collective (Algorithm 3)",
     "plan/partial-nonlinear": "f(sum x_i) != sum f(x_i): partials must resolve before nonlinearities",
@@ -78,8 +79,8 @@ ALL_RULES: Dict[str, str] = {
     "routed/order": "the simulator replays routed.order; it must cover the graph topologically",
     "routed/layout": "cross-check against an independent Algorithm 3 layout propagation",
     "routed/conversion": "every claimed conversion needs exactly one priced forward event",
-    "routed/grad-sync": "each trainable shard syncs its gradient exactly once, on the right axis",
-    "routed/cost": "cost terms are times/bytes: non-negative; pure DP prices zero TP comm",
+    "routed/grad-sync": "each trainable shard syncs its gradient exactly once, via the stage's collective, on the right axis",
+    "routed/cost": "cost terms are times/bytes: non-negative; pure DP prices zero TP comm; no gather time with ZeRO off",
     "pack/conservation": "packing must move every gradient byte exactly once",
     "pack/coverage": "a gradient packed twice is synced twice (wrong update)",
     "pack/bucket-size": "fused buckets above the chunk cap stall the update pipeline",
@@ -262,7 +263,18 @@ def _verify_plan_impl(
     mesh: Optional[Mesh],
     registry: PatternRegistry,
 ) -> Tuple[VerificationReport, Dict[str, Tuple[str, str]]]:
-    report = VerificationReport(rules_checked=7)
+    report = VerificationReport(rules_checked=8)
+
+    # ShardingPlan.__post_init__ enforces the range for plans built through
+    # the library; re-checking here covers hand-built or monkeyed objects
+    # before the stage steers collective selection downstream.
+    zero = getattr(plan, "zero_stage", 0)
+    if zero not in (0, 1, 2):
+        report.add(
+            "plan/zero-stage",
+            f"zero_stage {zero!r} is outside the supported range (0, 1, 2)",
+            hint="0 = off, 1 = optimizer-state sharding, 2 = + gradients",
+        )
 
     for node_name, pattern_name in plan.assignment:
         if node_name not in graph:
@@ -443,17 +455,30 @@ def _check_conversions(
 
 
 def _check_grad_sync(routed: RoutedPlan, report: VerificationReport) -> None:
+    # With the ZeRO axis on, each replica keeps a 1/dp gradient slice for
+    # its sharded optimizer step — the sync must be a reduce-scatter; with
+    # it off, the classic all-reduce.  A mismatch either way means the
+    # router and the plan disagree about the weight-update scheme.
+    want_collective = (
+        "reduce_scatter" if routed.plan.zero_stage >= 1 else "all_reduce"
+    )
     for name in routed.order:
         shard = routed.shards.get(name)
         if shard is None:
             continue
         sync = [ev for ev in shard.events if ev.overlappable]
         for ev in sync:
-            if ev.phase != "backward" or ev.collective != "all_reduce" or ev.axis not in ("dp", "all"):
+            if ev.phase != "backward" or ev.collective != want_collective or ev.axis not in ("dp", "all"):
                 report.add(
                     "routed/grad-sync",
                     f"overlappable event is {ev.phase}/{ev.collective}/{ev.axis}; "
-                    "gradient sync must be a backward all_reduce on dp or all",
+                    f"gradient sync must be a backward {want_collective} on "
+                    "dp or all"
+                    + (
+                        f" (plan has zero_stage={routed.plan.zero_stage})"
+                        if routed.plan.zero_stage
+                        else ""
+                    ),
                     where=name,
                 )
         expected = 1 if shard.local_parameters > 0 else 0
@@ -498,6 +523,7 @@ def _check_cost(
         "forward_comm",
         "backward_tp_comm",
         "gradient_comm",
+        "weight_gather_comm",
         "overlapped_gradient_comm",
     ):
         value = getattr(bd, field_name)
@@ -507,6 +533,13 @@ def _check_cost(
                 f"negative cost term {field_name}={value}",
                 hint="times and byte counts can never be negative",
             )
+    if routed.plan.zero_stage == 0 and bd.weight_gather_comm != 0.0:
+        report.add(
+            "routed/cost",
+            "plan with the ZeRO axis off prices weight-gather time "
+            f"({bd.weight_gather_comm})",
+            hint="all-gather of updated weights only exists at zero_stage >= 1",
+        )
     if bd.overlapped_gradient_comm > bd.gradient_comm:
         report.add(
             "routed/cost",

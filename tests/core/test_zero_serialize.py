@@ -1,0 +1,105 @@
+"""ZeRO stage through serialization and fingerprinting.
+
+The field must round-trip through every persistence surface (plan JSON,
+routed JSON) and steer the cache key — while ``zero_stage=0`` documents
+and fingerprints stay byte-identical to the pre-ZeRO encoding, so no
+existing cache entry or saved plan is invalidated.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    DEFAULT_REGISTRY,
+    ShardingPlan,
+    coarsen,
+    route_plan,
+)
+from repro.core.fingerprint import config_doc, config_fingerprint
+from repro.core.serialize import (
+    PlanLoadError,
+    plan_from_json,
+    plan_to_json,
+    routed_from_json,
+    routed_to_json,
+)
+from repro.graph import trim_auxiliary
+from repro.models import TransformerConfig, build_t5
+
+
+@pytest.fixture(scope="module")
+def t5_nodes():
+    g = build_t5(TransformerConfig(encoder_layers=1, decoder_layers=1,
+                                   hidden=64, ffn_dim=128, num_heads=4,
+                                   vocab=128))
+    trimmed, _ = trim_auxiliary(g)
+    return coarsen(trimmed)
+
+
+FFN = {"ffn/intermediate": "split_col", "ffn/output": "split_row"}
+
+
+def plan_for(ng, zero_stage=0):
+    mapping = {}
+    for node in ng.weight_nodes():
+        for suffix, pattern in FFN.items():
+            if node.name.endswith(suffix):
+                mapping[node.name] = pattern
+    return ShardingPlan.of(mapping, 4, name="zp", zero_stage=zero_stage)
+
+
+class TestPlanJson:
+    @pytest.mark.parametrize("stage", (0, 1, 2))
+    def test_round_trip(self, t5_nodes, stage):
+        plan = plan_for(t5_nodes, zero_stage=stage)
+        back = plan_from_json(plan_to_json(plan))
+        assert back == plan
+        assert back.zero_stage == stage
+
+    def test_zero_off_doc_has_no_key(self, t5_nodes):
+        """Stage-0 plans serialise exactly as plans always did."""
+        doc = json.loads(plan_to_json(plan_for(t5_nodes, zero_stage=0)))
+        assert "zero_stage" not in doc
+
+    def test_zero_off_bytes_unchanged(self, t5_nodes):
+        mapping = plan_for(t5_nodes).as_dict
+        with_field = ShardingPlan.of(mapping, 4, name="zp", zero_stage=0)
+        plain = ShardingPlan.of(mapping, 4, name="zp")
+        assert plan_to_json(with_field) == plan_to_json(plain)
+
+    def test_bad_stage_rejected(self, t5_nodes):
+        doc = json.loads(plan_to_json(plan_for(t5_nodes, zero_stage=1)))
+        doc["zero_stage"] = 5
+        with pytest.raises(PlanLoadError, match="zero_stage"):
+            plan_from_json(json.dumps(doc))
+
+
+class TestRoutedJson:
+    @pytest.mark.parametrize("stage", (0, 1, 2))
+    def test_round_trip(self, t5_nodes, stage):
+        routed = route_plan(t5_nodes, plan_for(t5_nodes, stage),
+                            DEFAULT_REGISTRY)
+        back = routed_from_json(routed_to_json(routed), t5_nodes)
+        assert back.plan == routed.plan
+        assert back.plan.zero_stage == stage
+
+    def test_zero_off_doc_has_no_key(self, t5_nodes):
+        routed = route_plan(t5_nodes, plan_for(t5_nodes, 0), DEFAULT_REGISTRY)
+        doc = json.loads(routed_to_json(routed))
+        assert "zero_stage" not in doc["plan"]
+
+
+class TestFingerprint:
+    def test_zero_off_doc_unchanged(self):
+        """zero_stage=0 hashes the byte-identical pre-ZeRO document."""
+        assert config_doc() == config_doc(zero_stage=0)
+        assert "zero_stage" not in config_doc(zero_stage=0)
+        assert config_fingerprint() == config_fingerprint(zero_stage=0)
+
+    def test_stages_get_distinct_keys(self):
+        fps = {config_fingerprint(zero_stage=s) for s in (0, 1, 2)}
+        assert len(fps) == 3
+
+    def test_zero_on_doc_carries_stage(self):
+        assert config_doc(zero_stage=2)["zero_stage"] == 2

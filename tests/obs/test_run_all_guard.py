@@ -1,0 +1,70 @@
+"""The baseline-refresh clobber guard in ``benchmarks/run_all.py``.
+
+``--update-baselines`` must refuse to start while ``benchmarks/baselines/``
+has uncommitted edits (they would be silently overwritten at the end of a
+long benchmark run) unless ``--force`` says so explicitly.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def run_all():
+    spec = importlib.util.spec_from_file_location(
+        "bench_run_all", REPO_ROOT / "benchmarks" / "run_all.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestClobberGuard:
+    def test_dirty_baselines_refuse(self, run_all, monkeypatch, capsys):
+        monkeypatch.setattr(
+            run_all, "dirty_baselines", lambda: [" M baselines/search.json"]
+        )
+        rc = run_all.main(["--update-baselines", "-k", "no-such-bench"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "refusing --update-baselines" in out
+        assert "baselines/search.json" in out
+
+    def test_force_overrides(self, run_all, monkeypatch, capsys):
+        called = []
+        monkeypatch.setattr(
+            run_all, "dirty_baselines",
+            lambda: called.append(True) or [" M baselines/search.json"],
+        )
+        # -k filters to nothing, so the run stops right after the guard
+        rc = run_all.main(["--update-baselines", "--force", "-k", "no-such"])
+        assert rc == 2  # "no benchmark files match", not the guard
+        assert not called  # --force skips the git probe entirely
+        assert "refusing" not in capsys.readouterr().out
+
+    def test_clean_tree_proceeds(self, run_all, monkeypatch, capsys):
+        monkeypatch.setattr(run_all, "dirty_baselines", lambda: [])
+        rc = run_all.main(["--update-baselines", "-k", "no-such"])
+        assert rc == 2
+        assert "refusing" not in capsys.readouterr().out
+
+    def test_guard_skipped_without_update(self, run_all, monkeypatch):
+        monkeypatch.setattr(
+            run_all, "dirty_baselines",
+            lambda: pytest.fail("guard must not run without --update-baselines"),
+        )
+        assert run_all.main(["-k", "no-such"]) == 2
+
+    def test_dirty_probe_handles_missing_git(self, run_all, monkeypatch):
+        import subprocess as sp
+
+        def boom(*a, **kw):
+            raise OSError("git not on PATH")
+
+        monkeypatch.setattr(run_all.subprocess, "run", boom)
+        assert run_all.dirty_baselines() == []

@@ -1,0 +1,150 @@
+"""ZeRO parity: the sharded weight update equals the replicated one, bit for bit.
+
+The planner's ``zero_stage`` axis reroutes gradient sync as
+reduce-scatter + post-step all-gather and claims the training step is
+unchanged.  Both step implementations reduce gradients with the same
+``np.sum(np.stack(...))`` and apply purely elementwise updates, so the
+claim is *bitwise* — these tests assert ``tobytes()`` equality, never
+``allclose``, across optimizers, dp degrees, multi-step runs and the
+model zoo's parameter shapes (including sizes that force padding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import trim_auxiliary
+from repro.core import coarsen
+from repro.models import TransformerConfig, build_t5
+from repro.runtime import (
+    AdamConfig,
+    SGDConfig,
+    flatten_params,
+    replicated_step,
+    unflatten_params,
+    zero_step,
+)
+from repro.runtime.comm import TrafficMeter
+
+
+def make_params(shapes, seed=0):
+    rng = np.random.default_rng(seed)
+    return {name: rng.standard_normal(shape) for name, shape in shapes.items()}
+
+
+def make_grads(shapes, dp, seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        {name: rng.standard_normal(shape) for name, shape in shapes.items()}
+        for _ in range(dp)
+    ]
+
+
+def zoo_shapes():
+    """Parameter shapes of a scaled-down zoo model (t5 stack)."""
+    g = build_t5(TransformerConfig(encoder_layers=1, decoder_layers=1,
+                                   hidden=64, ffn_dim=128, num_heads=4,
+                                   vocab=128))
+    trimmed, _ = trim_auxiliary(g)
+    ng = coarsen(trimmed)
+    shapes = {}
+    for node in ng.weight_nodes():
+        for op in node.weights:
+            shapes[op.name] = tuple(op.weight.shape)
+    return shapes
+
+
+# deliberately awkward sizes: prime counts, scalars-adjacent vectors, a
+# matrix — the flat space (sum of sizes) divides evenly by almost no dp
+ODD_SHAPES = {"a": (7,), "b": (3, 5), "c": (11,), "d": (2, 2, 2)}
+
+
+def assert_bit_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for name in a:
+        assert a[name].dtype == b[name].dtype
+        assert a[name].shape == b[name].shape
+        assert a[name].tobytes() == b[name].tobytes(), f"{name} diverged"
+
+
+def run_parity(shapes, dp, config, steps=3):
+    params_r = make_params(shapes)
+    params_z = {k: v.copy() for k, v in params_r.items()}
+    state_r, state_z = None, None
+    for step in range(1, steps + 1):
+        grads = make_grads(shapes, dp, seed=100 + step)
+        params_r, state_r = replicated_step(params_r, grads, state_r, step, config)
+        params_z, state_z = zero_step(params_z, grads, state_z, step, config)
+        assert_bit_equal(params_r, params_z)
+    return params_r, params_z
+
+
+class TestParity:
+    @pytest.mark.parametrize("dp", (1, 2, 3, 4, 8))
+    @pytest.mark.parametrize("config", (AdamConfig(), SGDConfig()),
+                             ids=("adam", "sgd"))
+    def test_odd_shapes_multi_step(self, dp, config):
+        """Padding path: 38 total elements divide by none of these dp."""
+        run_parity(ODD_SHAPES, dp, config)
+
+    @pytest.mark.parametrize("dp", (2, 4))
+    @pytest.mark.parametrize("config", (AdamConfig(), SGDConfig()),
+                             ids=("adam", "sgd"))
+    def test_zoo_model_shapes(self, dp, config):
+        run_parity(zoo_shapes(), dp, config, steps=2)
+
+    def test_single_tensor(self):
+        run_parity({"w": (4, 4)}, 4, AdamConfig())
+
+    def test_nondefault_hyperparameters(self):
+        run_parity(ODD_SHAPES, 3,
+                   AdamConfig(lr=0.1, beta1=0.5, beta2=0.9, eps=1e-3))
+        run_parity(ODD_SHAPES, 3, SGDConfig(lr=0.5, momentum=0.0))
+
+
+class TestZeroStepMechanics:
+    def test_traffic_uses_zero_collectives(self):
+        meter = TrafficMeter()
+        grads = make_grads(ODD_SHAPES, 4)
+        zero_step(make_params(ODD_SHAPES), grads, None, 1, SGDConfig(),
+                  meter=meter)
+        assert meter.calls_by_kind.get("reduce_scatter", 0) == 1
+        assert meter.calls_by_kind.get("all_gather", 0) == 1
+        assert "all_reduce" not in meter.calls_by_kind
+
+    def test_replicated_traffic_is_all_reduce(self):
+        meter = TrafficMeter()
+        grads = make_grads(ODD_SHAPES, 4)
+        replicated_step(make_params(ODD_SHAPES), grads, None, 1, SGDConfig(),
+                        meter=meter)
+        assert meter.calls_by_kind.get("all_reduce", 0) == len(ODD_SHAPES)
+        assert "reduce_scatter" not in meter.calls_by_kind
+
+    def test_shard_states_cover_disjoint_slices(self):
+        """Each replica's state covers exactly 1/dp of the padded space."""
+        dp = 4
+        grads = make_grads(ODD_SHAPES, dp)
+        _, states = zero_step(make_params(ODD_SHAPES), grads, None, 1,
+                              AdamConfig())
+        total = sum(v.size for v in make_params(ODD_SHAPES).values())
+        padded = total + (-total) % dp
+        assert len(states) == dp
+        for st in states:
+            assert set(st) == {"m", "v"}
+            assert st["m"].size == padded // dp
+
+    def test_mismatched_grads_rejected(self):
+        params = make_params(ODD_SHAPES)
+        bad = make_grads({"a": (7,)}, 2)
+        with pytest.raises(ValueError, match="do not match"):
+            zero_step(params, bad, None, 1, SGDConfig())
+
+    def test_flatten_roundtrip(self):
+        params = make_params(ODD_SHAPES)
+        flat, spec = flatten_params(params)
+        assert flat.size == sum(v.size for v in params.values())
+        assert_bit_equal(params, unflatten_params(flat, spec))
+
+    def test_flatten_empty(self):
+        flat, spec = flatten_params({})
+        assert flat.size == 0 and spec == []
+        assert unflatten_params(flat, spec) == {}

@@ -1,0 +1,64 @@
+"""ZeRO stage on the service wire: request docs, labels, cache keys.
+
+Pre-ZeRO clients must be untouched — a stage-0 request serialises the
+byte-identical document it always did and hashes to the same cache key —
+while enabling the stage mints a distinct key so a ZeRO plan can never
+answer a replicated request (or vice versa).
+"""
+
+import pytest
+
+from repro.service.requests import (
+    PlanRequest,
+    build_request_graph,
+    request_key,
+)
+
+
+def req(**kw):
+    kw.setdefault("model", "clip_base")
+    kw.setdefault("mesh_nodes", 1)
+    kw.setdefault("mesh_gpus", 4)
+    return PlanRequest(**kw)
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("stage", (0, 1, 2))
+    def test_doc_round_trip(self, stage):
+        r = req(zero_stage=stage)
+        back = PlanRequest.from_doc(r.to_doc())
+        assert back == r
+        assert back.zero_stage == stage
+
+    def test_zero_off_doc_has_no_key(self):
+        """Stage-0 docs are byte-identical to pre-ZeRO client output."""
+        assert "zero_stage" not in req().to_doc()
+        assert req(zero_stage=0).to_doc() == req().to_doc()
+
+    def test_pre_zero_doc_still_parses(self):
+        doc = req().to_doc()
+        doc.pop("zero_stage", None)
+        assert PlanRequest.from_doc(doc).zero_stage == 0
+
+    def test_bad_stage_rejected(self):
+        with pytest.raises(ValueError, match="zero_stage"):
+            req(zero_stage=3)
+
+    def test_label_mentions_stage_only_when_on(self):
+        assert "/zero" not in req().label()
+        assert req(zero_stage=2).label().endswith("/zero2")
+
+
+class TestCacheKeys:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_request_graph(req())
+
+    def test_stage0_key_unchanged(self, graph):
+        key_default, _ = request_key(req(), graph)
+        key_explicit, _ = request_key(req(zero_stage=0), graph)
+        assert key_default == key_explicit
+
+    def test_stages_mint_distinct_keys(self, graph):
+        keys = {request_key(req(zero_stage=s), graph)[0] for s in (0, 1, 2)}
+        assert len(keys) == 3

@@ -290,3 +290,47 @@ class TestApiIntegration:
             report.raise_if_failed()
         assert exc.value.report is report
         assert "plan/divisibility" in str(exc.value)
+
+
+class TestZeroStage:
+    """The ZeRO axis through the verifier: clean when consistent, caught
+    when the gradient-sync collectives contradict the declared stage."""
+
+    def zero_routed(self, ng, stage):
+        base = megatron_plan(ng, 4)
+        plan = ShardingPlan.of(
+            base.as_dict, base.tp_degree, name="z", zero_stage=stage
+        )
+        return plan, route_plan(ng, plan, DEFAULT_REGISTRY)
+
+    @pytest.mark.parametrize("stage", [0, 1, 2])
+    def test_clean_at_every_stage(self, t5, mesh, stage):
+        _, _, ng = t5
+        plan, routed = self.zero_routed(ng, stage)
+        assert verify_plan(ng, plan).ok
+        report = verify_routed(ng, routed, mesh, CostConfig(batch_tokens=1024))
+        assert report.ok, [p.message for p in report.problems]
+
+    def test_out_of_range_stage_flagged(self, t5):
+        _, _, ng = t5
+        plan, _ = self.zero_routed(ng, 0)
+        object.__setattr__(plan, "zero_stage", 7)  # bypass __post_init__
+        report = verify_plan(ng, plan)
+        assert report.has_rule("plan/zero-stage")
+
+    def test_allreduce_under_zero_flagged(self, t5):
+        """Stage >= 1 demands reduce-scatter; replicated sync is caught."""
+        _, _, ng = t5
+        _, routed = self.zero_routed(ng, 0)
+        stage1, _ = self.zero_routed(ng, 1)
+        mismatched = dataclasses.replace(routed, plan=stage1)
+        report = verify_routed(ng, mismatched)
+        assert report.has_rule("routed/grad-sync")
+
+    def test_reduce_scatter_without_zero_flagged(self, t5):
+        _, _, ng = t5
+        _, routed = self.zero_routed(ng, 1)
+        stage0, _ = self.zero_routed(ng, 0)
+        mismatched = dataclasses.replace(routed, plan=stage0)
+        report = verify_routed(ng, mismatched)
+        assert report.has_rule("routed/grad-sync")
