@@ -21,10 +21,15 @@ from common import emit, emit_bench_json
 #: Hard ceiling for the full pipeline over src/repro (CI asserts it too).
 BUDGET_S = 5.0
 
+#: Timing repeats per stage — scheduler noise only ever inflates a
+#: window, so the min is the honest number (same policy as the search
+#: and simulation hot-path benchmarks).
+REPEATS = 3
+
 REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 
-def measure():
+def _measure_once():
     t0 = time.perf_counter()
     index = index_paths([REPO_SRC])
     t_index = time.perf_counter() - t0
@@ -48,6 +53,14 @@ def measure():
         "passes_s": t_passes,
         "wall_s": t_total,
     }
+
+
+def measure():
+    runs = [_measure_once() for _ in range(REPEATS)]
+    rec = dict(runs[0])  # structure counts are identical across runs
+    for key in ("index_s", "passes_s", "wall_s"):
+        rec[key] = min(r[key] for r in runs)
+    return rec
 
 
 def test_analyze_runtime_budget():

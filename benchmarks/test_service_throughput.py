@@ -14,7 +14,9 @@ HTTP — the daemon adds transport, not planning):
   search; the other N-1 ride the in-flight future (or hit the cache a
   beat later).  Both counts are deterministic and gated.
 * **miss throughput** — distinct-key request storms against 1-worker and
-  2-worker fleets.  Raw requests/sec are machine-dependent (and
+  2-worker fleets, best of ``FLEET_REPEATS`` storms per fleet size (a
+  single storm is one scheduler hiccup away from a bogus sub-1.0
+  scaling figure).  Raw requests/sec are machine-dependent (and
   null-thresholded); the gated number is ``fleet_scaling_margin``, the
   observed scaling normalised by what the machine can physically give
   (``min(workers, cpu_count)``) — so a 1-core CI box and a 16-core
@@ -53,6 +55,13 @@ MISS_KEYS = 4
 #: a 1-core box pays pure oversubscription for the second worker.
 SCALING_EFFICIENCY = 0.5
 
+#: Miss-storm repeats per fleet size (best-of; each over a fresh cache
+#: dir so every request is a true cold miss).  A single storm over a
+#: handful of ~100 ms searches is one scheduler hiccup away from a bogus
+#: sub-1.0 scaling figure; load only ever slows a storm down, so the
+#: best rps is the honest number.
+FLEET_REPEATS = 3
+
 
 def _request(batch_tokens: int = BATCH_TOKENS) -> PlanRequest:
     return PlanRequest(model=MODEL, mesh_nodes=2, mesh_gpus=8,
@@ -68,7 +77,7 @@ def _warm_latency(service: PlannerService) -> float:
     return best
 
 
-def _miss_rps(workers: int, cache_dir: str) -> float:
+def _miss_rps_once(workers: int, cache_dir: str) -> float:
     """Requests/sec over MISS_KEYS distinct cold keys on a warm fleet."""
     with PlannerService(cache_dir, workers=workers,
                         queue_limit=MISS_KEYS + STORM) as service:
@@ -84,6 +93,15 @@ def _miss_rps(workers: int, cache_dir: str) -> float:
         assert all(r.source in ("search", "coalesced") for r in responses)
         assert service.stats()["counters"]["searches"] == MISS_KEYS + 1
     return MISS_KEYS / elapsed
+
+
+def _miss_rps(workers: int) -> float:
+    """Best storm of FLEET_REPEATS, each over its own fresh cache dir."""
+    best = 0.0
+    for _ in range(FLEET_REPEATS):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            best = max(best, _miss_rps_once(workers, cache_dir))
+    return best
 
 
 def test_service_throughput():
@@ -138,10 +156,8 @@ def test_service_throughput():
             assert len({r.envelope.to_json() for r in responses}) == 1
 
     # --- miss throughput scaling across fleet sizes -----------------------
-    with tempfile.TemporaryDirectory() as d1:
-        rps_w1 = _miss_rps(1, d1)
-    with tempfile.TemporaryDirectory() as d2:
-        rps_w2 = _miss_rps(2, d2)
+    rps_w1 = _miss_rps(1)
+    rps_w2 = _miss_rps(2)
     scaling = rps_w2 / rps_w1
     ideal = min(2, cpu)
     scaling_margin = min(1.0, scaling / (SCALING_EFFICIENCY * ideal))
